@@ -1,0 +1,67 @@
+//! Label oracles (the "expert" of the active learning loop).
+
+/// Answers label queries for candidate links by index.
+pub trait Oracle {
+    /// True when candidate `idx` is an existing anchor link.
+    fn label(&self, idx: usize) -> bool;
+
+    /// Number of answered queries so far (for budget accounting audits).
+    fn queries_answered(&self) -> usize;
+}
+
+/// An oracle backed by a precomputed truth vector aligned with the
+/// candidate list — exactly how the paper simulates the human expert from
+/// held-out labels.
+#[derive(Debug)]
+pub struct VecOracle {
+    truth: Vec<bool>,
+    answered: std::cell::Cell<usize>,
+}
+
+impl VecOracle {
+    /// Wraps a truth vector (one entry per candidate).
+    pub fn new(truth: Vec<bool>) -> Self {
+        VecOracle {
+            truth,
+            answered: std::cell::Cell::new(0),
+        }
+    }
+
+    /// The underlying truth vector (evaluation-side use).
+    pub fn truth(&self) -> &[bool] {
+        &self.truth
+    }
+}
+
+impl Oracle for VecOracle {
+    fn label(&self, idx: usize) -> bool {
+        self.answered.set(self.answered.get() + 1);
+        self.truth[idx]
+    }
+
+    fn queries_answered(&self) -> usize {
+        self.answered.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answers_and_counts() {
+        let o = VecOracle::new(vec![true, false, true]);
+        assert!(o.label(0));
+        assert!(!o.label(1));
+        assert!(o.label(2));
+        assert_eq!(o.queries_answered(), 3);
+        assert_eq!(o.truth(), &[true, false, true]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_query_panics() {
+        let o = VecOracle::new(vec![true]);
+        o.label(5);
+    }
+}

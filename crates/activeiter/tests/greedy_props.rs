@@ -1,0 +1,122 @@
+//! Property tests for the greedy cardinality-constrained selection: validity
+//! of the matching, the ½-approximation bound against an exact matcher, and
+//! fixed-label handling — on randomized instances.
+
+use activeiter::greedy::{greedy_select, optimal_select};
+use hetnet::UserId;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn instance(
+    max_links: usize,
+    max_users: u32,
+) -> impl Strategy<Value = (Vec<(UserId, UserId)>, Vec<f64>)> {
+    proptest::collection::vec(
+        (0..max_users, 0..max_users, 0..1000u32),
+        1..max_links,
+    )
+    .prop_map(|triples| {
+        // Deduplicate candidate pairs (the harness never emits duplicates).
+        let mut seen = HashSet::new();
+        let mut cands = Vec::new();
+        let mut scores = Vec::new();
+        for (l, r, s) in triples {
+            if seen.insert((l, r)) {
+                cands.push((UserId(l), UserId(r)));
+                scores.push(s as f64 / 1000.0);
+            }
+        }
+        (cands, scores)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn selection_is_a_valid_matching((cands, scores) in instance(40, 12)) {
+        let sel = greedy_select(&scores, &cands, &[], &[], 0.5);
+        let mut left = HashMap::new();
+        let mut right = HashMap::new();
+        for (i, &l) in sel.labels.iter().enumerate() {
+            prop_assert!(l == 0.0 || l == 1.0);
+            if l == 1.0 {
+                prop_assert!(scores[i] > 0.5, "accepted below threshold");
+                *left.entry(cands[i].0).or_insert(0) += 1;
+                *right.entry(cands[i].1).or_insert(0) += 1;
+            }
+        }
+        prop_assert!(left.values().all(|&d| d <= 1));
+        prop_assert!(right.values().all(|&d| d <= 1));
+    }
+
+    #[test]
+    fn greedy_achieves_half_of_optimal((cands, scores) in instance(14, 5)) {
+        let sel = greedy_select(&scores, &cands, &[], &[], 0.5);
+        let eligible = (0..cands.len()).filter(|&i| scores[i] > 0.5).count();
+        prop_assume!(eligible <= 14);
+        let opt = optimal_select(&scores, &cands, &[], &[], 0.5);
+        prop_assert!(
+            sel.weight >= 0.5 * opt - 1e-9,
+            "greedy {} < half of optimal {}",
+            sel.weight,
+            opt
+        );
+    }
+
+    #[test]
+    fn greedy_is_maximal((cands, scores) in instance(40, 10)) {
+        // No rejected above-threshold link could still be added.
+        let sel = greedy_select(&scores, &cands, &[], &[], 0.5);
+        let mut left: HashSet<UserId> = HashSet::new();
+        let mut right: HashSet<UserId> = HashSet::new();
+        for (i, &l) in sel.labels.iter().enumerate() {
+            if l == 1.0 {
+                left.insert(cands[i].0);
+                right.insert(cands[i].1);
+            }
+        }
+        for i in 0..cands.len() {
+            if sel.labels[i] == 0.0 && scores[i] > 0.5 {
+                prop_assert!(
+                    left.contains(&cands[i].0) || right.contains(&cands[i].1),
+                    "link {i} could have been added — greedy not maximal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_positives_always_survive((cands, scores) in instance(30, 8), pick in 0usize..30) {
+        prop_assume!(!cands.is_empty());
+        let fixed = pick % cands.len();
+        // Fixing a link keeps it positive regardless of score, and no other
+        // accepted link may collide with it.
+        let sel = greedy_select(&scores, &cands, &[fixed], &[], 0.5);
+        prop_assert_eq!(sel.labels[fixed], 1.0);
+        for (i, &l) in sel.labels.iter().enumerate() {
+            if i != fixed && l == 1.0 {
+                prop_assert!(cands[i].0 != cands[fixed].0);
+                prop_assert!(cands[i].1 != cands[fixed].1);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_negatives_never_selected((cands, scores) in instance(30, 8), pick in 0usize..30) {
+        prop_assume!(!cands.is_empty());
+        let fixed = pick % cands.len();
+        let sel = greedy_select(&scores, &cands, &[], &[fixed], 0.5);
+        prop_assert_eq!(sel.labels[fixed], 0.0);
+    }
+
+    #[test]
+    fn raising_threshold_shrinks_selection((cands, scores) in instance(40, 10)) {
+        let lo = greedy_select(&scores, &cands, &[], &[], 0.3);
+        let hi = greedy_select(&scores, &cands, &[], &[], 0.7);
+        let count = |s: &activeiter::greedy::Selection| {
+            s.labels.iter().filter(|&&l| l == 1.0).count()
+        };
+        prop_assert!(count(&hi) <= count(&lo));
+    }
+}

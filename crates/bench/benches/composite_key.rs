@@ -1,0 +1,42 @@
+//! Ablation: counting the attribute meta diagram Ψ2 = P5 × P6 with the
+//! composite-key join vs materializing post×post shared-attribute matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetnet::aligned::anchor_matrix;
+use metadiagram::{AttrCountStrategy, CountEngine, Diagram};
+
+fn bench_composite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("composite_key");
+    group.sample_size(10);
+    // Posts are the scaling dimension for Ψ2: crank activity up.
+    let mut cfg = datagen::presets::small(17);
+    cfg.posts_per_user_left = 30.0;
+    cfg.posts_per_user_right = 20.0;
+    let world = datagen::generate(&cfg);
+    let train: Vec<_> = world.truth().links()[..12].to_vec();
+    for (name, strategy) in [
+        ("composite_key", AttrCountStrategy::CompositeKey),
+        ("materialize", AttrCountStrategy::Materialize),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| {
+                let amat =
+                    anchor_matrix(world.left().n_users(), world.right().n_users(), &train)
+                        .unwrap();
+                let engine = CountEngine::with_options(
+                    world.left(),
+                    world.right(),
+                    amat,
+                    strategy,
+                    false,
+                )
+                .unwrap();
+                engine.count(&Diagram::psi2())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_composite);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! End-to-end model fits (the measurements behind Fig. 4): Iter-MPMD and
+//! ActiveIter-50 on a prepared instance at two NP-ratios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eval::{run_fold, ExperimentSpec, LinkSet, Method};
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let world = datagen::generate(&datagen::presets::small(21));
+    for theta in [5usize, 15] {
+        let spec = ExperimentSpec {
+            np_ratio: theta,
+            sample_ratio: 0.6,
+            n_folds: 10,
+            rotations: 1,
+            seed: 3,
+        };
+        let ls = LinkSet::build(&world, theta, 10, spec.seed);
+        for (name, method) in [
+            ("iter_mpmd", Method::IterMpmd),
+            ("activeiter_50", Method::ActiveIter { budget: 50 }),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("theta{theta}")),
+                &(),
+                |b, _| b.iter(|| run_fold(&world, &ls, &spec, method, 0)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

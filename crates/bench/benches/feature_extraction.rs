@@ -1,0 +1,42 @@
+//! Full-catalog feature extraction on generated worlds — the dominant cost
+//! of one experiment fold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetnet::aligned::anchor_matrix;
+use metadiagram::{extract_features, Catalog, CountEngine, FeatureSet};
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_extraction");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("tiny", datagen::presets::tiny(3)),
+        ("small", datagen::presets::small(3)),
+    ] {
+        let world = datagen::generate(&cfg);
+        let train: Vec<_> = world.truth().links()[..world.truth().len() / 10].to_vec();
+        let candidates: Vec<_> = world.truth().iter().map(|a| (a.left, a.right)).collect();
+        for (set_name, set) in [("MP", FeatureSet::MetaPathsOnly), ("MPMD", FeatureSet::Full)] {
+            let catalog = Catalog::new(set);
+            group.bench_with_input(
+                BenchmarkId::new(set_name, name),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        let amat = anchor_matrix(
+                            world.left().n_users(),
+                            world.right().n_users(),
+                            &train,
+                        )
+                        .unwrap();
+                        let engine = CountEngine::new(world.left(), world.right(), amat).unwrap();
+                        extract_features(&engine, &catalog, &candidates)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

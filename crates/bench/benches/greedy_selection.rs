@@ -1,0 +1,40 @@
+//! The greedy one-to-one selection (internal step 1-2) across candidate
+//! counts — the per-iteration cost driver of Fig. 4's near-linear scaling.
+
+use activeiter::greedy::greedy_select;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetnet::UserId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_selection");
+    for &n in &[10_000usize, 50_000, 200_000] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n_users = (n as f64).sqrt() as u32 + 1;
+        let candidates: Vec<(UserId, UserId)> = (0..n)
+            .map(|_| {
+                (
+                    UserId(rng.gen_range(0..n_users)),
+                    UserId(rng.gen_range(0..n_users)),
+                )
+            })
+            .collect();
+        let scores: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| {
+                greedy_select(
+                    black_box(&scores),
+                    black_box(&candidates),
+                    &[],
+                    &[],
+                    0.5,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Query-strategy ablation: the paper's conflict strategy (tiered and
+//! strict-literal) against random, uncertainty sampling, and plain
+//! top-score querying across budgets.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin ablation_query [-- --full]
+//! ```
+
+use eval::methods::StrategyKind;
+use eval::{run_experiment, Method};
+
+fn main() {
+    let opts = bench::HarnessOpts::from_args();
+    let world = opts.world();
+    let spec = opts.spec(30, 0.6);
+    let strategies = [
+        StrategyKind::Conflict,
+        StrategyKind::Random,
+        StrategyKind::Uncertainty,
+        StrategyKind::TopScore,
+    ];
+
+    println!(
+        "Query-strategy ablation — θ = 30, γ = 60%, {} rotations, seed {}",
+        opts.rotations(),
+        opts.seed
+    );
+    println!();
+    print!("{:<14}", "strategy \\ b");
+    for b in bench::budget_sweep() {
+        print!(" {b:>8}");
+    }
+    println!();
+    let baseline = run_experiment(&world, &spec, Method::IterMpmd);
+    println!("{:<14} {:>8.3} (b = 0 reference)", "none", baseline.f1.mean);
+    for strategy in strategies {
+        print!("{:<14}", format!("{strategy:?}"));
+        for budget in bench::budget_sweep() {
+            let cell = run_experiment(
+                &world,
+                &spec,
+                Method::ActiveIterWith { budget, strategy },
+            );
+            print!(" {:>8.3}", cell.f1.mean);
+        }
+        println!();
+    }
+    println!();
+    println!("cells are mean F1; the conflict strategy should dominate at equal budget");
+}

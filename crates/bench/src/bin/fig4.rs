@@ -1,0 +1,62 @@
+//! Regenerates **Figure 4** (scalability analysis): wall-clock fit time vs
+//! NP-ratio θ (∝ candidate count |H|) for ActiveIter-50 and ActiveIter-100
+//! at γ = 100%, plus a least-squares check that growth is near-linear.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig4 [-- --full]
+//! ```
+
+use eval::{run_fold, LinkSet, Method};
+
+fn main() {
+    let opts = bench::HarnessOpts::from_args();
+    let world = opts.world();
+    let thetas = bench::theta_sweep();
+
+    println!(
+        "Figure 4 — model fit time vs NP-ratio (γ = 100%, seed {}; feature extraction excluded, as the paper times the learning loop)",
+        opts.seed
+    );
+    println!();
+    println!("{:>6} {:>10} {:>18} {:>18}", "θ", "|H|", "ActiveIter-50 (s)", "ActiveIter-100 (s)");
+
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys50: Vec<f64> = Vec::new();
+    let mut ys100: Vec<f64> = Vec::new();
+    for &theta in &thetas {
+        let spec = opts.spec(theta, 1.0);
+        let ls = LinkSet::build(&world, theta, spec.n_folds, spec.seed);
+        let t50 = run_fold(&world, &ls, &spec, Method::ActiveIter { budget: 50 }, 0)
+            .fit_time
+            .as_secs_f64();
+        let t100 = run_fold(&world, &ls, &spec, Method::ActiveIter { budget: 100 }, 0)
+            .fit_time
+            .as_secs_f64();
+        println!("{:>6} {:>10} {:>18.3} {:>18.3}", theta, ls.len(), t50, t100);
+        xs.push(ls.len() as f64);
+        ys50.push(t50);
+        ys100.push(t100);
+    }
+
+    // Linearity check: R² of time ~ |H| should be high (the paper's slopes
+    // "indicate linear growth").
+    for (name, ys) in [("ActiveIter-50", &ys50), ("ActiveIter-100", &ys100)] {
+        let r2 = linear_r2(&xs, ys);
+        println!();
+        println!("{name}: R² of linear fit time ~ |H| = {r2:.3}");
+    }
+}
+
+/// R² of the least-squares line through (x, y).
+fn linear_r2(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    if sxx == 0.0 || syy == 0.0 {
+        return 1.0;
+    }
+    (sxy * sxy) / (sxx * syy)
+}

@@ -1,0 +1,54 @@
+//! Regenerates **Figure 5** (performance vs query budget): ActiveIter and
+//! ActiveIter-Rand across b ∈ {10, 25, 50, 75, 100} at θ = 50, γ = 60%,
+//! against the Iter-MPMD reference lines at γ = 60% and γ = 70% (the paper's
+//! "1,670 extra labels" comparison).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig5 [-- --full]
+//! ```
+
+use eval::{run_experiment, Method, Metrics};
+
+fn main() {
+    let opts = bench::HarnessOpts::from_args();
+    let world = opts.world();
+    let theta = 50usize;
+
+    let spec60 = opts.spec(theta, 0.6);
+    let spec70 = opts.spec(theta, 0.7);
+    let pu60 = run_experiment(&world, &spec60, Method::IterMpmd);
+    let pu70 = run_experiment(&world, &spec70, Method::IterMpmd);
+
+    println!(
+        "Figure 5 — metrics vs budget b (θ = {theta}, γ = 60%, {} fold rotations, seed {})",
+        opts.rotations(),
+        opts.seed
+    );
+    println!();
+    for metric in Metrics::NAMES {
+        println!(
+            "[{metric}] Iter-MPMD reference: γ=60% → {:.4}, γ=70% → {:.4}",
+            pu60.get(metric).mean,
+            pu70.get(metric).mean
+        );
+    }
+    println!();
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14}",
+        "budget", "ActiveIter F1", "Rand F1", "ActiveIter P", "ActiveIter R"
+    );
+    for budget in bench::budget_sweep() {
+        let act = run_experiment(&world, &spec60, Method::ActiveIter { budget });
+        let rnd = run_experiment(&world, &spec60, Method::ActiveIterRand { budget });
+        println!(
+            "{:>8} {:>14.4} {:>14.4} {:>14.4} {:>14.4}",
+            budget, act.f1.mean, rnd.f1.mean, act.precision.mean, act.recall.mean
+        );
+    }
+    println!();
+    println!(
+        "Paper's reading: ActiveIter improves monotonically with b and, past\n\
+         b ≈ 50, overtakes the Iter-MPMD reference that was given the whole\n\
+         extra 10% of training labels; random queries barely move."
+    );
+}

@@ -1,0 +1,39 @@
+//! Regenerates **Table III**: F1 / Precision / Recall / Accuracy of all six
+//! methods at γ = 60% across the NP-ratio sweep θ ∈ {5, 10, …, 50}.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin table3 [-- --full]
+//! ```
+
+use eval::{run_experiment, Method, Metrics, Table};
+
+fn main() {
+    let opts = bench::HarnessOpts::from_args();
+    let world = opts.world();
+    let methods = Method::paper_lineup();
+    let thetas = bench::theta_sweep();
+
+    let mut table = Table::new(
+        format!(
+            "Table III — performance vs NP-ratio θ (γ = 60%, {} fold rotations, seed {})",
+            opts.rotations(),
+            opts.seed
+        ),
+        "θ",
+        thetas.iter().map(|t| t.to_string()).collect(),
+        methods.iter().map(|m| m.name()).collect(),
+        Metrics::NAMES.iter().map(|s| s.to_string()).collect(),
+    );
+
+    for (ci, &theta) in thetas.iter().enumerate() {
+        let spec = opts.spec(theta, 0.6);
+        for (mi, &method) in methods.iter().enumerate() {
+            let cell = run_experiment(&world, &spec, method);
+            for metric in Metrics::NAMES {
+                table.set(metric, mi, ci, cell.get(metric));
+            }
+        }
+        eprintln!("θ = {theta} done");
+    }
+    println!("{table}");
+}

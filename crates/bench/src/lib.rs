@@ -1,0 +1,166 @@
+//! # bench — the table/figure regeneration harness
+//!
+//! One binary per table/figure of the paper (see EXPERIMENTS.md and
+//! `src/bin/`), plus Criterion micro/macro benchmarks for the engine-level
+//! ablations. This library holds the shared plumbing: the benchmark worlds,
+//! experiment presets, and a tiny argument parser (no CLI dependency).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use datagen::{GeneratedWorld, GeneratorConfig};
+use eval::ExperimentSpec;
+
+/// Harness scale, switchable from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced-but-faithful defaults: small world, 3 fold rotations.
+    /// Finishes in minutes on a laptop.
+    Quick,
+    /// Paper-proportioned world and the full 10-fold rotation.
+    Full,
+}
+
+/// Common options parsed from `std::env::args`.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Run scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Override for the number of fold rotations (`0` = scale default).
+    pub rotations: usize,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
+            scale: Scale::Quick,
+            seed: 42,
+            rotations: 0,
+        }
+    }
+}
+
+impl HarnessOpts {
+    /// Parses `--full`, `--seed N`, `--rotations N`; ignores unknown flags
+    /// (prints a note so typos are visible).
+    pub fn from_args() -> Self {
+        let mut opts = HarnessOpts::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => opts.scale = Scale::Full,
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                "--rotations" => {
+                    i += 1;
+                    opts.rotations = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--rotations needs an integer");
+                }
+                other => eprintln!("note: ignoring unknown flag {other}"),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The benchmark world for this scale.
+    pub fn world_config(&self) -> GeneratorConfig {
+        match self.scale {
+            Scale::Quick => datagen::presets::small(self.seed),
+            Scale::Full => datagen::presets::paper_scale(250, self.seed),
+        }
+    }
+
+    /// Generates the benchmark world.
+    pub fn world(&self) -> GeneratedWorld {
+        datagen::generate(&self.world_config())
+    }
+
+    /// Fold rotations for this scale (paper: 10).
+    pub fn rotations(&self) -> usize {
+        if self.rotations > 0 {
+            return self.rotations;
+        }
+        match self.scale {
+            Scale::Quick => 3,
+            Scale::Full => 10,
+        }
+    }
+
+    /// An [`ExperimentSpec`] at (θ, γ) under these options.
+    pub fn spec(&self, np_ratio: usize, sample_ratio: f64) -> ExperimentSpec {
+        ExperimentSpec {
+            np_ratio,
+            sample_ratio,
+            n_folds: 10,
+            rotations: self.rotations(),
+            seed: self.seed,
+        }
+    }
+}
+
+/// The paper's θ sweep (Tables III, Fig. 4): 5..=50 step 5.
+pub fn theta_sweep() -> Vec<usize> {
+    (1..=10).map(|k| k * 5).collect()
+}
+
+/// The paper's γ sweep (Table IV): 10%..=100% step 10%.
+pub fn gamma_sweep() -> Vec<f64> {
+    (1..=10).map(|k| k as f64 / 10.0).collect()
+}
+
+/// The paper's budget sweep (Fig. 5).
+pub fn budget_sweep() -> Vec<usize> {
+    vec![10, 25, 50, 75, 100]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_match_paper() {
+        assert_eq!(theta_sweep(), vec![5, 10, 15, 20, 25, 30, 35, 40, 45, 50]);
+        assert_eq!(gamma_sweep().len(), 10);
+        assert!((gamma_sweep()[5] - 0.6).abs() < 1e-12);
+        assert_eq!(budget_sweep(), vec![10, 25, 50, 75, 100]);
+    }
+
+    #[test]
+    fn quick_defaults() {
+        let o = HarnessOpts::default();
+        assert_eq!(o.rotations(), 3);
+        let spec = o.spec(10, 0.6);
+        assert_eq!(spec.np_ratio, 10);
+        assert_eq!(spec.n_folds, 10);
+    }
+
+    #[test]
+    fn full_scale_uses_ten_rotations() {
+        let o = HarnessOpts {
+            scale: Scale::Full,
+            ..Default::default()
+        };
+        assert_eq!(o.rotations(), 10);
+        assert!(o.world_config().n_shared_users >= 250);
+    }
+
+    #[test]
+    fn rotation_override_wins() {
+        let o = HarnessOpts {
+            rotations: 7,
+            ..Default::default()
+        };
+        assert_eq!(o.rotations(), 7);
+    }
+}

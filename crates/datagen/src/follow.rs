@@ -1,0 +1,281 @@
+//! Follow-graph generation.
+//!
+//! A latent directed social graph is grown over the shared users with a
+//! preferential-attachment flavour, then *subsampled* into each network
+//! (probability `keep_left` / `keep_right` per edge). Anchored accounts
+//! therefore agree on a large, tunable fraction of their neighborhoods —
+//! the signal behind meta paths P1–P4 — without being identical. Per-network
+//! noise edges and the extra (non-shared) users dilute that signal.
+
+use crate::config::GeneratorConfig;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// A directed edge list over `0..n` users.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeList {
+    /// Distinct directed edges `(source, target)`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// Samples a target index with preferential attachment: with probability
+/// `pa_strength` proportional to `indeg + 1`, otherwise uniform. `exclude`
+/// is the source (no self-loop).
+fn sample_target(
+    rng: &mut StdRng,
+    indeg: &[usize],
+    total_indeg: usize,
+    pa_strength: f64,
+    exclude: usize,
+) -> usize {
+    let n = indeg.len();
+    loop {
+        let t = if rng.gen::<f64>() < pa_strength && total_indeg > 0 {
+            // Weighted sample by (indeg + 1) via inverse CDF walk; n is small
+            // enough in practice (≤ tens of thousands) that the occasional
+            // O(n) walk is dwarfed by SpGEMM later in the pipeline.
+            let mut ticket = rng.gen_range(0..total_indeg + n);
+            let mut chosen = n - 1;
+            for (i, &d) in indeg.iter().enumerate() {
+                let w = d + 1;
+                if ticket < w {
+                    chosen = i;
+                    break;
+                }
+                ticket -= w;
+            }
+            chosen
+        } else {
+            rng.gen_range(0..n)
+        };
+        if t != exclude {
+            return t;
+        }
+    }
+}
+
+/// Grows the latent directed graph over `n` shared users with mean
+/// out-degree `cfg.base_degree`.
+pub fn latent_graph(rng: &mut StdRng, cfg: &GeneratorConfig) -> EdgeList {
+    let n = cfg.n_shared_users;
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    let mut edges = Vec::new();
+    let mut indeg = vec![0usize; n];
+    let mut total_indeg = 0usize;
+    if n < 2 {
+        return EdgeList { edges };
+    }
+    for u in 0..n {
+        let d = sample_degree(rng, cfg.base_degree).min(n - 1);
+        let mut attempts = 0;
+        let mut added = 0;
+        while added < d && attempts < 8 * d + 16 {
+            attempts += 1;
+            let t = sample_target(rng, &indeg, total_indeg, cfg.pa_strength, u);
+            if seen.insert((u, t)) {
+                edges.push((u, t));
+                indeg[t] += 1;
+                total_indeg += 1;
+                added += 1;
+            }
+        }
+    }
+    EdgeList { edges }
+}
+
+/// Approximately geometric degree with the requested mean (support ≥ 1 when
+/// `mean ≥ 1`, so nobody is an isolate by construction).
+fn sample_degree(rng: &mut StdRng, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    // Geometric with success prob 1/mean has mean `mean`; add the +1 shift
+    // so the distribution starts at 1 and keep the mean by using mean-1.
+    let shifted = (mean - 1.0).max(0.0);
+    if shifted == 0.0 {
+        return 1;
+    }
+    let p = 1.0 / (shifted + 1.0);
+    let mut k = 1usize;
+    // Cap to avoid pathological tails in tiny test configs.
+    let cap = (8.0 * mean).ceil() as usize + 2;
+    while k < cap && rng.gen::<f64>() > p {
+        k += 1;
+    }
+    k
+}
+
+/// Materializes one network's follow edges:
+/// * each latent edge survives with probability `keep` (both endpoints are
+///   shared users, mapped through `map_user`);
+/// * `noise_edge_frac` extra random edges are added among **all** users of
+///   the network;
+/// * each extra (non-shared) user receives `extra_degree` random edges.
+pub fn materialize_network(
+    rng: &mut StdRng,
+    latent: &EdgeList,
+    keep: f64,
+    map_user: &dyn Fn(usize) -> usize,
+    n_total_users: usize,
+    cfg: &GeneratorConfig,
+    n_shared: usize,
+) -> EdgeList {
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    let mut edges = Vec::new();
+    for &(u, v) in &latent.edges {
+        if rng.gen::<f64>() < keep {
+            let e = (map_user(u), map_user(v));
+            if e.0 != e.1 && seen.insert(e) {
+                edges.push(e);
+            }
+        }
+    }
+    if n_total_users >= 2 {
+        // Per-network noise edges among all users.
+        let n_noise = ((edges.len() as f64) * cfg.noise_edge_frac).round() as usize;
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < n_noise && attempts < 10 * n_noise + 32 {
+            attempts += 1;
+            let u = rng.gen_range(0..n_total_users);
+            let v = rng.gen_range(0..n_total_users);
+            if u != v && seen.insert((u, v)) {
+                edges.push((u, v));
+                added += 1;
+            }
+        }
+        // Extra users get their own random neighborhoods.
+        for u in n_shared..n_total_users {
+            let d = sample_degree(rng, cfg.extra_degree).min(n_total_users - 1);
+            let mut added = 0;
+            let mut attempts = 0;
+            while added < d && attempts < 8 * d + 16 {
+                attempts += 1;
+                let v = rng.gen_range(0..n_total_users);
+                if u != v && seen.insert((u, v)) {
+                    edges.push((u, v));
+                    added += 1;
+                }
+            }
+        }
+    }
+    EdgeList { edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn cfg() -> GeneratorConfig {
+        GeneratorConfig {
+            n_shared_users: 50,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn latent_graph_has_roughly_requested_degree() {
+        let c = cfg();
+        let g = latent_graph(&mut rng(), &c);
+        let mean = g.edges.len() as f64 / c.n_shared_users as f64;
+        assert!(
+            mean > c.base_degree * 0.4 && mean < c.base_degree * 2.0,
+            "mean degree {mean} far from target {}",
+            c.base_degree
+        );
+    }
+
+    #[test]
+    fn latent_graph_has_no_self_loops_or_duplicates() {
+        let g = latent_graph(&mut rng(), &cfg());
+        let mut seen = HashSet::new();
+        for &(u, v) in &g.edges {
+            assert_ne!(u, v, "self loop");
+            assert!(seen.insert((u, v)), "duplicate edge");
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_panic() {
+        let c = GeneratorConfig {
+            n_shared_users: 1,
+            ..Default::default()
+        };
+        let g = latent_graph(&mut rng(), &c);
+        assert!(g.edges.is_empty());
+    }
+
+    #[test]
+    fn materialization_keeps_a_fraction() {
+        let c = cfg();
+        let latent = latent_graph(&mut rng(), &c);
+        let mut r = rng();
+        let kept = materialize_network(
+            &mut r,
+            &latent,
+            0.5,
+            &|u| u,
+            c.n_shared_users,
+            &GeneratorConfig {
+                noise_edge_frac: 0.0,
+                extra_degree: 0.0,
+                ..c.clone()
+            },
+            c.n_shared_users,
+        );
+        let frac = kept.edges.len() as f64 / latent.edges.len() as f64;
+        assert!(frac > 0.3 && frac < 0.7, "kept fraction {frac}");
+    }
+
+    #[test]
+    fn keep_one_preserves_all_edges() {
+        let c = cfg();
+        let latent = latent_graph(&mut rng(), &c);
+        let mut r = rng();
+        let kept = materialize_network(
+            &mut r,
+            &latent,
+            1.0,
+            &|u| u,
+            c.n_shared_users,
+            &GeneratorConfig {
+                noise_edge_frac: 0.0,
+                extra_degree: 0.0,
+                ..c.clone()
+            },
+            c.n_shared_users,
+        );
+        assert_eq!(kept.edges.len(), latent.edges.len());
+    }
+
+    #[test]
+    fn extra_users_receive_edges() {
+        let c = cfg();
+        let latent = EdgeList::default();
+        let mut r = rng();
+        let net = materialize_network(&mut r, &latent, 1.0, &|u| u, 60, &c, 50);
+        // Users 50..60 should have some outgoing edges.
+        assert!(net.edges.iter().any(|&(u, _)| u >= 50));
+    }
+
+    #[test]
+    fn degree_sampler_mean_is_close() {
+        let mut r = rng();
+        let n = 4000;
+        let total: usize = (0..n).map(|_| sample_degree(&mut r, 10.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!(mean > 8.0 && mean < 12.5, "sampled mean {mean}");
+    }
+
+    #[test]
+    fn zero_mean_degree_gives_zero() {
+        let mut r = rng();
+        assert_eq!(sample_degree(&mut r, 0.0), 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Multi-network worlds (the paper's §II extension: "simple extensions of
+//! the model can be applied to multiple (more than two) aligned social
+//! networks as well").
+//!
+//! `k` networks are materialized from one latent social world: every network
+//! subsamples the same latent follow graph and every shared user keeps one
+//! habit profile across all of their accounts. Ground truth is a permutation
+//! per network, which induces pairwise anchor sets for every network pair —
+//! and, crucially, *transitively consistent* ones, which is what the
+//! multi-network consistency checker in `eval::multi` verifies against.
+
+use crate::activity::{sample_archetypes, sample_profile, PopularitySampler, Profile};
+use crate::config::GeneratorConfig;
+use crate::follow::{latent_graph, materialize_network};
+use crate::generator::populate_posts;
+use hetnet::{AnchorLink, AnchorSet, HetNet, HetNetBuilder, UserId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A collection of `k ≥ 2` aligned networks over one shared population.
+#[derive(Debug, Clone)]
+pub struct MultiWorld {
+    /// The networks, index `0..k`.
+    pub nets: Vec<HetNet>,
+    /// Per-network permutation: shared user `s` owns account `sigma[n][s]`
+    /// in network `n`.
+    pub sigmas: Vec<Vec<usize>>,
+    /// Number of shared users.
+    pub n_shared: usize,
+    /// Configuration used (per-network knobs follow the left-network
+    /// settings; activity alternates left/right rates to keep asymmetry).
+    pub config: GeneratorConfig,
+}
+
+impl MultiWorld {
+    /// Number of networks.
+    pub fn k(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// The ground-truth anchor set between networks `a` and `b`.
+    ///
+    /// # Panics
+    /// Panics when `a == b` or an index is out of range.
+    pub fn truth_between(&self, a: usize, b: usize) -> AnchorSet {
+        assert!(a != b, "a pair needs two distinct networks");
+        let sa = &self.sigmas[a];
+        let sb = &self.sigmas[b];
+        AnchorSet::try_new(
+            (0..self.n_shared)
+                .map(|s| {
+                    AnchorLink::new(
+                        UserId::from_index(sa[s]),
+                        UserId::from_index(sb[s]),
+                    )
+                })
+                .collect(),
+        )
+        .expect("permutations induce one-to-one anchor sets")
+    }
+
+    /// All unordered network pairs `(a, b)` with `a < b`.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        let k = self.k();
+        let mut out = Vec::with_capacity(k * (k - 1) / 2);
+        for a in 0..k {
+            for b in (a + 1)..k {
+                out.push((a, b));
+            }
+        }
+        out
+    }
+}
+
+/// Generates `k` aligned networks. Network 0 plays the "left" role
+/// (keep_left, posts_per_user_left); the others use the right-side rates.
+///
+/// # Panics
+/// Panics when `k < 2`.
+pub fn generate_multi(cfg: &GeneratorConfig, k: usize) -> MultiWorld {
+    assert!(k >= 2, "a multi-world needs at least two networks");
+    cfg.validate();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6d75_6c74);
+    let n_shared = cfg.n_shared_users;
+
+    // One latent social world.
+    let latent = latent_graph(&mut rng, cfg);
+    let loc_sampler = PopularitySampler::new(cfg.n_locations, cfg.popularity_skew);
+    let ts_sampler = PopularitySampler::new(cfg.n_timestamps, 0.0);
+    let word_sampler = if cfg.n_words > 0 {
+        Some(PopularitySampler::new(cfg.n_words, cfg.popularity_skew))
+    } else {
+        None
+    };
+    let archetypes = sample_archetypes(&mut rng, cfg, &loc_sampler, &ts_sampler);
+    let shared_profiles: Vec<Profile> = (0..n_shared)
+        .map(|_| {
+            let arch = if archetypes.is_empty() {
+                None
+            } else {
+                Some(&archetypes[rng.gen_range(0..archetypes.len())])
+            };
+            sample_profile(&mut rng, cfg, &loc_sampler, &ts_sampler, word_sampler.as_ref(), arch)
+        })
+        .collect();
+
+    let mut nets = Vec::with_capacity(k);
+    let mut sigmas = Vec::with_capacity(k);
+    for n in 0..k {
+        let (keep, posts, extra) = if n == 0 {
+            (cfg.keep_left, cfg.posts_per_user_left, cfg.n_extra_left)
+        } else {
+            (cfg.keep_right, cfg.posts_per_user_right, cfg.n_extra_right)
+        };
+        let n_total = n_shared + extra;
+        let mut sigma: Vec<usize> = (0..n_shared).collect();
+        sigma.shuffle(&mut rng);
+        let sigma_ref = sigma.clone();
+        let edges = materialize_network(
+            &mut rng,
+            &latent,
+            keep,
+            &|u| sigma_ref[u],
+            n_total,
+            cfg,
+            n_shared,
+        );
+        let mut builder = HetNetBuilder::new(
+            format!("net{n}"),
+            n_total,
+            cfg.n_locations,
+            cfg.n_timestamps,
+            cfg.n_words,
+        );
+        for &(u, v) in &edges.edges {
+            builder
+                .add_follow(UserId::from_index(u), UserId::from_index(v))
+                .expect("generator produced in-range users");
+        }
+        // Account sigma[s] uses shared profile s; build the inverse map.
+        let mut inv = vec![usize::MAX; n_shared];
+        for (s, &acct) in sigma.iter().enumerate() {
+            inv[acct] = s;
+        }
+        populate_posts(
+            &mut rng,
+            &mut builder,
+            n_total,
+            n_shared,
+            |acct| &shared_profiles[inv[acct]],
+            posts,
+            cfg,
+            &loc_sampler,
+            &ts_sampler,
+            word_sampler.as_ref(),
+            &archetypes,
+        );
+        nets.push(builder.build());
+        sigmas.push(sigma);
+    }
+
+    MultiWorld {
+        nets,
+        sigmas,
+        n_shared,
+        config: cfg.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn world() -> MultiWorld {
+        generate_multi(&presets::tiny(5), 3)
+    }
+
+    #[test]
+    fn k_networks_are_generated() {
+        let w = world();
+        assert_eq!(w.k(), 3);
+        assert_eq!(w.nets[0].n_users(), 38);
+        assert_eq!(w.nets[1].n_users(), 40);
+        assert_eq!(w.nets[2].n_users(), 40);
+        assert_eq!(w.pairs(), vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn pairwise_truths_are_one_to_one_and_transitively_consistent() {
+        let w = world();
+        let t01 = w.truth_between(0, 1);
+        let t12 = w.truth_between(1, 2);
+        let t02 = w.truth_between(0, 2);
+        assert_eq!(t01.len(), w.n_shared);
+        // Compose 0→1 with 1→2 and compare against 0→2.
+        use std::collections::HashMap;
+        let map01: HashMap<u32, u32> = t01.iter().map(|a| (a.left.0, a.right.0)).collect();
+        let map12: HashMap<u32, u32> = t12.iter().map(|a| (a.left.0, a.right.0)).collect();
+        let map02: HashMap<u32, u32> = t02.iter().map(|a| (a.left.0, a.right.0)).collect();
+        for (&u0, &u1) in &map01 {
+            let via = map12[&u1];
+            assert_eq!(map02[&u0], via, "triangle inconsistency in ground truth");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = world();
+        let b = world();
+        assert_eq!(a.sigmas, b.sigmas);
+        assert_eq!(a.nets[2].n_posts(), b.nets[2].n_posts());
+    }
+
+    #[test]
+    fn profiles_are_shared_across_all_accounts() {
+        // Anchored accounts in different networks co-check-in, regardless of
+        // which pair is examined.
+        use std::collections::HashSet;
+        let w = generate_multi(
+            &GeneratorConfig {
+                profile_noise: 0.1,
+                posts_per_user_left: 12.0,
+                posts_per_user_right: 12.0,
+                ..presets::tiny(9)
+            },
+            3,
+        );
+        let keys = |net: &HetNet, u: usize| -> HashSet<(usize, usize)> {
+            net.posts_of(UserId::from_index(u))
+                .map(|p| {
+                    (
+                        net.locations_of(p).next().unwrap().index(),
+                        net.timestamps_of(p).next().unwrap().index(),
+                    )
+                })
+                .collect()
+        };
+        let mut aligned = 0usize;
+        let mut shifted = 0usize;
+        for s in 0..w.n_shared {
+            let k1 = keys(&w.nets[1], w.sigmas[1][s]);
+            let k2 = keys(&w.nets[2], w.sigmas[2][s]);
+            aligned += k1.intersection(&k2).count();
+            let wrong = w.sigmas[2][(s + 3) % w.n_shared];
+            shifted += k1.intersection(&keys(&w.nets[2], wrong)).count();
+        }
+        assert!(
+            aligned > 2 * shifted.max(1),
+            "aligned {aligned} vs shifted {shifted}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two networks")]
+    fn rejects_k_below_two() {
+        generate_multi(&presets::tiny(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct networks")]
+    fn truth_requires_distinct_networks() {
+        world().truth_between(1, 1);
+    }
+}

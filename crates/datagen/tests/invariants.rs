@@ -1,0 +1,94 @@
+//! Property tests for the generator: structural invariants must hold for
+//! arbitrary configurations, not just the presets.
+
+use datagen::{generate, GeneratorConfig};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        1u64..1000,
+        5usize..60,
+        0usize..20,
+        0usize..20,
+        2usize..80,
+        2usize..60,
+        (0usize..4, 0.0f64..=1.0),
+    )
+        .prop_map(
+            |(seed, shared, xl, xr, locs, ts, (archetypes, mix))| GeneratorConfig {
+                seed,
+                n_shared_users: shared,
+                n_extra_left: xl,
+                n_extra_right: xr,
+                n_locations: locs,
+                n_timestamps: ts,
+                n_archetypes: archetypes,
+                archetype_mix: mix,
+                ..GeneratorConfig::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn anchors_form_a_perfect_matching_over_shared_users(cfg in config_strategy()) {
+        let w = generate(&cfg);
+        prop_assert_eq!(w.truth().len(), cfg.n_shared_users);
+        let mut left_seen = vec![false; w.left().n_users()];
+        let mut right_seen = vec![false; w.right().n_users()];
+        for a in w.truth().iter() {
+            prop_assert!(!left_seen[a.left.index()]);
+            prop_assert!(!right_seen[a.right.index()]);
+            left_seen[a.left.index()] = true;
+            right_seen[a.right.index()] = true;
+            // Shared users occupy the first indices on both sides.
+            prop_assert!(a.left.index() < cfg.n_shared_users);
+            prop_assert!(a.right.index() < cfg.n_shared_users);
+        }
+    }
+
+    #[test]
+    fn populations_match_config(cfg in config_strategy()) {
+        let w = generate(&cfg);
+        prop_assert_eq!(w.left().n_users(), cfg.n_left_users());
+        prop_assert_eq!(w.right().n_users(), cfg.n_right_users());
+        prop_assert_eq!(w.left().count(hetnet::NodeKind::Location), cfg.n_locations);
+        prop_assert_eq!(w.right().count(hetnet::NodeKind::Timestamp), cfg.n_timestamps);
+    }
+
+    #[test]
+    fn every_post_is_a_complete_checkin(cfg in config_strategy()) {
+        let w = generate(&cfg);
+        for net in [w.left(), w.right()] {
+            for p in 0..net.n_posts() {
+                let pid = hetnet::PostId::from_index(p);
+                prop_assert!(net.author_of(pid).is_some());
+                prop_assert_eq!(net.locations_of(pid).count(), 1);
+                prop_assert_eq!(net.timestamps_of(pid).count(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_follows_anywhere(cfg in config_strategy()) {
+        let w = generate(&cfg);
+        for net in [w.left(), w.right()] {
+            for u in 0..net.n_users() {
+                let uid = hetnet::UserId::from_index(u);
+                prop_assert!(!net.follows(uid, uid));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_seed(cfg in config_strategy()) {
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        prop_assert_eq!(&a.sigma, &b.sigma);
+        prop_assert_eq!(a.left().n_posts(), b.left().n_posts());
+        prop_assert_eq!(a.right().link_count(hetnet::LinkKind::Follow),
+                        b.right().link_count(hetnet::LinkKind::Follow));
+    }
+}

@@ -1,0 +1,158 @@
+//! Paper-style table rendering: metric blocks × methods × sweep columns,
+//! cells as `mean±std` — the layout of Tables III and IV.
+
+use crate::metrics::MetricSummary;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Formats one cell the way the paper prints it (`0.631±0.01`).
+pub fn format_cell(s: MetricSummary) -> String {
+    format!("{:.3}±{:.2}", s.mean, s.std)
+}
+
+/// A renderable sweep table: one block per metric, one row per method, one
+/// column per sweep value.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Header of the sweep dimension (e.g. `"NP-ratio θ"`).
+    pub sweep_name: String,
+    /// Sweep column labels.
+    pub columns: Vec<String>,
+    /// Method row labels.
+    pub methods: Vec<String>,
+    /// `cells[metric][(method, column)] = summary`.
+    cells: BTreeMap<String, BTreeMap<(usize, usize), MetricSummary>>,
+    /// Metric block order.
+    pub metric_order: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table for the given methods and sweep columns.
+    pub fn new(
+        title: impl Into<String>,
+        sweep_name: impl Into<String>,
+        columns: Vec<String>,
+        methods: Vec<String>,
+        metric_order: Vec<String>,
+    ) -> Self {
+        Table {
+            title: title.into(),
+            sweep_name: sweep_name.into(),
+            columns,
+            methods,
+            cells: BTreeMap::new(),
+            metric_order,
+        }
+    }
+
+    /// Sets the cell for `(metric, method index, column index)`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, metric: &str, method: usize, column: usize, value: MetricSummary) {
+        assert!(method < self.methods.len(), "method index out of range");
+        assert!(column < self.columns.len(), "column index out of range");
+        self.cells
+            .entry(metric.to_string())
+            .or_default()
+            .insert((method, column), value);
+    }
+
+    /// Reads a cell back (None when unset).
+    pub fn get(&self, metric: &str, method: usize, column: usize) -> Option<MetricSummary> {
+        self.cells.get(metric)?.get(&(method, column)).copied()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let method_width = self
+            .methods
+            .iter()
+            .map(|m| m.len())
+            .max()
+            .unwrap_or(6)
+            .max("method".len());
+        let cell_width = 12usize;
+        for metric in &self.metric_order {
+            writeln!(f)?;
+            write!(f, "[{metric}] {:<w$}", "method", w = method_width)?;
+            for c in &self.columns {
+                write!(f, " {:>cw$}", format!("{}={}", self.sweep_name, c), cw = cell_width)?;
+            }
+            writeln!(f)?;
+            for (mi, method) in self.methods.iter().enumerate() {
+                // Align with the "[metric] " prefix of the header row.
+                write!(f, "{:<pw$}{:<w$}", "", method, pw = metric.chars().count() + 3, w = method_width)?;
+                for ci in 0..self.columns.len() {
+                    let cell = self
+                        .get(metric, mi, ci)
+                        .map(format_cell)
+                        .unwrap_or_else(|| "—".to_string());
+                    write!(f, " {:>cw$}", cell, cw = cell_width)?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(mean: f64, std: f64) -> MetricSummary {
+        MetricSummary { mean, std }
+    }
+
+    #[test]
+    fn cell_format_matches_paper_style() {
+        assert_eq!(format_cell(s(0.631, 0.011)), "0.631±0.01");
+        assert_eq!(format_cell(s(0.0, 0.0)), "0.000±0.00");
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut t = Table::new(
+            "T",
+            "θ",
+            vec!["5".into(), "10".into()],
+            vec!["A".into(), "B".into()],
+            vec!["F1".into()],
+        );
+        t.set("F1", 0, 1, s(0.5, 0.1));
+        assert_eq!(t.get("F1", 0, 1), Some(s(0.5, 0.1)));
+        assert_eq!(t.get("F1", 1, 0), None);
+    }
+
+    #[test]
+    fn render_contains_all_parts() {
+        let mut t = Table::new(
+            "Table III",
+            "θ",
+            vec!["5".into()],
+            vec!["ActiveIter-100".into()],
+            vec!["F1".into(), "Recall".into()],
+        );
+        t.set("F1", 0, 0, s(0.631, 0.01));
+        let shown = t.to_string();
+        assert!(shown.contains("Table III"));
+        assert!(shown.contains("[F1]"));
+        assert!(shown.contains("[Recall]"));
+        assert!(shown.contains("ActiveIter-100"));
+        assert!(shown.contains("0.631±0.01"));
+        assert!(shown.contains("—"), "unset cells render as em-dash");
+        assert!(shown.contains("θ=5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "method index")]
+    fn set_validates_indices() {
+        let mut t = Table::new("T", "x", vec!["1".into()], vec!["A".into()], vec![]);
+        t.set("F1", 5, 0, s(0.0, 0.0));
+    }
+}

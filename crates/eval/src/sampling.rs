@@ -1,0 +1,253 @@
+//! Candidate-set construction: NP-ratio negative sampling, stratified
+//! 10-fold splitting, and sample-ratio sub-sampling (paper §IV-B.1).
+
+use datagen::GeneratedWorld;
+use hetnet::UserId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// The experiment's candidate link universe: all positives, the sampled
+/// negatives, truth labels, and the fold assignment.
+#[derive(Debug, Clone)]
+pub struct LinkSet {
+    /// Candidate links; positives first, then negatives.
+    pub candidates: Vec<(UserId, UserId)>,
+    /// Ground-truth label per candidate.
+    pub truth: Vec<bool>,
+    /// Fold id per candidate (`0..n_folds`), stratified by class.
+    pub fold_of: Vec<usize>,
+    /// Number of folds.
+    pub n_folds: usize,
+}
+
+impl LinkSet {
+    /// Builds the link set: every ground-truth anchor is a positive;
+    /// `np_ratio × positives` distinct negatives are sampled uniformly from
+    /// `H \ L⁺`; both classes are split into `n_folds` folds.
+    ///
+    /// # Panics
+    /// Panics when the universe cannot supply the requested negatives.
+    pub fn build(world: &GeneratedWorld, np_ratio: usize, n_folds: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let truth_set: HashSet<(u32, u32)> = world
+            .truth()
+            .iter()
+            .map(|a| (a.left.0, a.right.0))
+            .collect();
+        let positives: Vec<(UserId, UserId)> =
+            world.truth().iter().map(|a| (a.left, a.right)).collect();
+        let n_pos = positives.len();
+        let n_neg = n_pos * np_ratio;
+        let n_left = world.left().n_users();
+        let n_right = world.right().n_users();
+        let universe = n_left * n_right - n_pos;
+        assert!(
+            n_neg <= universe,
+            "cannot sample {n_neg} negatives from a universe of {universe}"
+        );
+
+        let mut negatives = Vec::with_capacity(n_neg);
+        let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(n_neg);
+        while negatives.len() < n_neg {
+            let l = rng.gen_range(0..n_left) as u32;
+            let r = rng.gen_range(0..n_right) as u32;
+            if truth_set.contains(&(l, r)) || !seen.insert((l, r)) {
+                continue;
+            }
+            negatives.push((UserId(l), UserId(r)));
+        }
+
+        let mut candidates = positives;
+        let mut truth = vec![true; n_pos];
+        candidates.extend(negatives);
+        truth.extend(std::iter::repeat_n(false, n_neg));
+
+        // Stratified fold assignment: shuffle within each class, then deal
+        // round-robin so every fold holds ~1/n_folds of each class.
+        let mut fold_of = vec![0usize; candidates.len()];
+        let mut assign = |idxs: Vec<usize>, rng: &mut StdRng| {
+            let mut idxs = idxs;
+            idxs.shuffle(rng);
+            for (pos, idx) in idxs.into_iter().enumerate() {
+                fold_of[idx] = pos % n_folds;
+            }
+        };
+        assign((0..n_pos).collect(), &mut rng);
+        assign((n_pos..n_pos + n_neg).collect(), &mut rng);
+
+        LinkSet {
+            candidates,
+            truth,
+            fold_of,
+            n_folds,
+        }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// True when empty (never, for valid builds).
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Indices of the training fold after γ sub-sampling, split by class.
+    /// γ = 1.0 keeps the entire fold; γ = 0.1 keeps 10% of it (at least one
+    /// positive is always retained so every run has a usable `L⁺`).
+    pub fn train_indices(
+        &self,
+        fold: usize,
+        sample_ratio: f64,
+        seed: u64,
+    ) -> (Vec<usize>, Vec<usize>) {
+        assert!(fold < self.n_folds, "fold {fold} out of range");
+        assert!(
+            (0.0..=1.0).contains(&sample_ratio),
+            "sample ratio must be in [0,1]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_f01d ^ fold as u64);
+        let mut pos: Vec<usize> = Vec::new();
+        let mut neg: Vec<usize> = Vec::new();
+        for (i, &f) in self.fold_of.iter().enumerate() {
+            if f == fold {
+                if self.truth[i] {
+                    pos.push(i);
+                } else {
+                    neg.push(i);
+                }
+            }
+        }
+        let mut subsample = |v: &mut Vec<usize>, keep_at_least_one: bool| {
+            v.shuffle(&mut rng);
+            let keep = ((v.len() as f64) * sample_ratio).round() as usize;
+            let keep = if keep_at_least_one { keep.max(1) } else { keep };
+            v.truncate(keep.min(v.len()));
+            v.sort_unstable();
+        };
+        subsample(&mut pos, true);
+        subsample(&mut neg, false);
+        (pos, neg)
+    }
+
+    /// Indices of the test set: every candidate outside `fold`.
+    pub fn test_indices(&self, fold: usize) -> Vec<usize> {
+        assert!(fold < self.n_folds, "fold {fold} out of range");
+        (0..self.len())
+            .filter(|&i| self.fold_of[i] != fold)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::presets;
+
+    fn world() -> GeneratedWorld {
+        datagen::generate(&presets::tiny(5))
+    }
+
+    #[test]
+    fn sizes_follow_np_ratio() {
+        let w = world();
+        let ls = LinkSet::build(&w, 5, 10, 1);
+        let n_pos = w.truth().len();
+        assert_eq!(ls.len(), n_pos * 6);
+        assert_eq!(ls.truth.iter().filter(|&&t| t).count(), n_pos);
+        assert!(!ls.is_empty());
+    }
+
+    #[test]
+    fn negatives_are_distinct_non_anchors() {
+        let w = world();
+        let ls = LinkSet::build(&w, 10, 10, 2);
+        let truth_set: HashSet<(u32, u32)> = w
+            .truth()
+            .iter()
+            .map(|a| (a.left.0, a.right.0))
+            .collect();
+        let mut seen = HashSet::new();
+        for (i, &(l, r)) in ls.candidates.iter().enumerate() {
+            assert!(seen.insert((l.0, r.0)), "duplicate candidate");
+            if !ls.truth[i] {
+                assert!(!truth_set.contains(&(l.0, r.0)), "negative is an anchor");
+            }
+        }
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let w = world();
+        let ls = LinkSet::build(&w, 5, 10, 3);
+        let n_pos = w.truth().len();
+        for fold in 0..10 {
+            let pos_in_fold = (0..ls.len())
+                .filter(|&i| ls.fold_of[i] == fold && ls.truth[i])
+                .count();
+            // 30 positives over 10 folds → 3 per fold.
+            assert_eq!(pos_in_fold, n_pos / 10);
+        }
+    }
+
+    #[test]
+    fn train_test_partition_is_clean() {
+        let w = world();
+        let ls = LinkSet::build(&w, 5, 10, 4);
+        let (tp, tn) = ls.train_indices(0, 1.0, 9);
+        let test = ls.test_indices(0);
+        let train: HashSet<usize> = tp.iter().chain(tn.iter()).copied().collect();
+        for &t in &test {
+            assert!(!train.contains(&t), "train/test overlap at {t}");
+        }
+        assert_eq!(train.len() + test.len(), ls.len());
+    }
+
+    #[test]
+    fn sample_ratio_shrinks_training_fold() {
+        let w = world();
+        let ls = LinkSet::build(&w, 10, 10, 5);
+        let (full_p, full_n) = ls.train_indices(2, 1.0, 7);
+        let (half_p, half_n) = ls.train_indices(2, 0.5, 7);
+        assert!(half_p.len() <= full_p.len());
+        assert_eq!(half_n.len(), full_n.len() / 2);
+        assert!(!half_p.is_empty(), "at least one positive always survives");
+        // Sub-samples are subsets of the fold.
+        let full: HashSet<usize> = full_p.iter().chain(full_n.iter()).copied().collect();
+        for i in half_p.iter().chain(half_n.iter()) {
+            assert!(full.contains(i));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let w = world();
+        let a = LinkSet::build(&w, 5, 10, 42);
+        let b = LinkSet::build(&w, 5, 10, 42);
+        assert_eq!(a.candidates, b.candidates);
+        assert_eq!(a.fold_of, b.fold_of);
+        let (p1, n1) = a.train_indices(1, 0.6, 3);
+        let (p2, n2) = b.train_indices(1, 0.6, 3);
+        assert_eq!(p1, p2);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversampling_panics() {
+        let w = world();
+        // Universe is ~48*50 pairs; asking for 10_000× positives explodes.
+        LinkSet::build(&w, 10_000, 10, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_fold_panics() {
+        let w = world();
+        let ls = LinkSet::build(&w, 2, 10, 1);
+        ls.test_indices(10);
+    }
+}

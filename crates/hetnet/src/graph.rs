@@ -1,0 +1,221 @@
+//! Immutable attributed heterogeneous network storage.
+//!
+//! A [`HetNet`] is produced by [`crate::HetNetBuilder`] and stores, per link
+//! kind, a binary CSR adjacency matrix in both directions. The count engine
+//! pulls these matrices directly; traversal helpers are provided for the
+//! brute-force verifiers and the generator.
+
+use crate::ids::{LocationId, PostId, TimestampId, UserId, WordId};
+use crate::schema::{Direction, LinkKind, NodeKind};
+use sparsela::CsrMatrix;
+
+/// An immutable attributed heterogeneous social network.
+#[derive(Debug, Clone)]
+pub struct HetNet {
+    pub(crate) name: String,
+    pub(crate) n_users: usize,
+    pub(crate) n_posts: usize,
+    pub(crate) n_words: usize,
+    pub(crate) n_locations: usize,
+    pub(crate) n_timestamps: usize,
+    /// Follow adjacency, `U × U`; `follow[u][v] = 1` iff `u` follows `v`.
+    pub(crate) follow: CsrMatrix,
+    /// Authorship, `U × P`.
+    pub(crate) write: CsrMatrix,
+    /// Post→timestamp, `P × T`.
+    pub(crate) at: CsrMatrix,
+    /// Post→location, `P × L`.
+    pub(crate) checkin: CsrMatrix,
+    /// Post→word, `P × W`.
+    pub(crate) has_word: CsrMatrix,
+    // Reverse (transposed) adjacency, built once.
+    pub(crate) follow_rev: CsrMatrix,
+    pub(crate) write_rev: CsrMatrix,
+    pub(crate) at_rev: CsrMatrix,
+    pub(crate) checkin_rev: CsrMatrix,
+    pub(crate) has_word_rev: CsrMatrix,
+}
+
+impl HetNet {
+    /// Network display name (e.g. `"twitter"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Population of a node kind.
+    pub fn count(&self, kind: NodeKind) -> usize {
+        match kind {
+            NodeKind::User => self.n_users,
+            NodeKind::Post => self.n_posts,
+            NodeKind::Word => self.n_words,
+            NodeKind::Location => self.n_locations,
+            NodeKind::Timestamp => self.n_timestamps,
+        }
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Number of posts.
+    pub fn n_posts(&self) -> usize {
+        self.n_posts
+    }
+
+    /// The binary adjacency matrix of `kind` traversed in `dir`.
+    ///
+    /// `Forward` returns the `source-kind × target-kind` matrix; `Reverse`
+    /// the transpose (precomputed).
+    pub fn adjacency(&self, kind: LinkKind, dir: Direction) -> &CsrMatrix {
+        match (kind, dir) {
+            (LinkKind::Follow, Direction::Forward) => &self.follow,
+            (LinkKind::Follow, Direction::Reverse) => &self.follow_rev,
+            (LinkKind::Write, Direction::Forward) => &self.write,
+            (LinkKind::Write, Direction::Reverse) => &self.write_rev,
+            (LinkKind::At, Direction::Forward) => &self.at,
+            (LinkKind::At, Direction::Reverse) => &self.at_rev,
+            (LinkKind::Checkin, Direction::Forward) => &self.checkin,
+            (LinkKind::Checkin, Direction::Reverse) => &self.checkin_rev,
+            (LinkKind::HasWord, Direction::Forward) => &self.has_word,
+            (LinkKind::HasWord, Direction::Reverse) => &self.has_word_rev,
+        }
+    }
+
+    /// Number of stored links of `kind`.
+    pub fn link_count(&self, kind: LinkKind) -> usize {
+        self.adjacency(kind, Direction::Forward).nnz()
+    }
+
+    /// Users followed by `u`.
+    pub fn followees(&self, u: UserId) -> impl Iterator<Item = UserId> + '_ {
+        self.follow.row(u.index()).map(|(c, _)| UserId::from_index(c))
+    }
+
+    /// Users following `u`.
+    pub fn followers(&self, u: UserId) -> impl Iterator<Item = UserId> + '_ {
+        self.follow_rev
+            .row(u.index())
+            .map(|(c, _)| UserId::from_index(c))
+    }
+
+    /// Posts written by `u`.
+    pub fn posts_of(&self, u: UserId) -> impl Iterator<Item = PostId> + '_ {
+        self.write.row(u.index()).map(|(c, _)| PostId::from_index(c))
+    }
+
+    /// The author of post `p`, if any. Well-formed networks give every post
+    /// exactly one author; the builder enforces at least one write link per
+    /// post only if requested.
+    pub fn author_of(&self, p: PostId) -> Option<UserId> {
+        self.write_rev
+            .row(p.index())
+            .next()
+            .map(|(c, _)| UserId::from_index(c))
+    }
+
+    /// Timestamps attached to post `p`.
+    pub fn timestamps_of(&self, p: PostId) -> impl Iterator<Item = TimestampId> + '_ {
+        self.at.row(p.index()).map(|(c, _)| TimestampId::from_index(c))
+    }
+
+    /// Locations attached to post `p`.
+    pub fn locations_of(&self, p: PostId) -> impl Iterator<Item = LocationId> + '_ {
+        self.checkin
+            .row(p.index())
+            .map(|(c, _)| LocationId::from_index(c))
+    }
+
+    /// Words attached to post `p`.
+    pub fn words_of(&self, p: PostId) -> impl Iterator<Item = WordId> + '_ {
+        self.has_word
+            .row(p.index())
+            .map(|(c, _)| WordId::from_index(c))
+    }
+
+    /// True when `u` follows `v`.
+    pub fn follows(&self, u: UserId, v: UserId) -> bool {
+        self.follow.get(u.index(), v.index()) != 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HetNetBuilder;
+
+    fn tiny() -> HetNet {
+        let mut b = HetNetBuilder::new("tiny", 3, 2, 2, 0);
+        b.add_follow(UserId(0), UserId(1)).unwrap();
+        b.add_follow(UserId(1), UserId(0)).unwrap();
+        b.add_follow(UserId(0), UserId(2)).unwrap();
+        let p0 = b.add_post(UserId(0)).unwrap();
+        let p1 = b.add_post(UserId(2)).unwrap();
+        b.add_checkin(p0, LocationId(1)).unwrap();
+        b.add_at(p0, TimestampId(0)).unwrap();
+        b.add_checkin(p1, LocationId(0)).unwrap();
+        b.add_at(p1, TimestampId(1)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts_are_reported() {
+        let n = tiny();
+        assert_eq!(n.count(NodeKind::User), 3);
+        assert_eq!(n.count(NodeKind::Post), 2);
+        assert_eq!(n.count(NodeKind::Location), 2);
+        assert_eq!(n.count(NodeKind::Timestamp), 2);
+        assert_eq!(n.count(NodeKind::Word), 0);
+        assert_eq!(n.n_users(), 3);
+        assert_eq!(n.n_posts(), 2);
+        assert_eq!(n.name(), "tiny");
+    }
+
+    #[test]
+    fn traversal_helpers() {
+        let n = tiny();
+        let f0: Vec<_> = n.followees(UserId(0)).collect();
+        assert_eq!(f0, vec![UserId(1), UserId(2)]);
+        let followers2: Vec<_> = n.followers(UserId(2)).collect();
+        assert_eq!(followers2, vec![UserId(0)]);
+        assert!(n.follows(UserId(1), UserId(0)));
+        assert!(!n.follows(UserId(2), UserId(0)));
+    }
+
+    #[test]
+    fn post_attribute_traversal() {
+        let n = tiny();
+        let posts: Vec<_> = n.posts_of(UserId(0)).collect();
+        assert_eq!(posts, vec![PostId(0)]);
+        assert_eq!(n.author_of(PostId(1)), Some(UserId(2)));
+        assert_eq!(
+            n.locations_of(PostId(0)).collect::<Vec<_>>(),
+            vec![LocationId(1)]
+        );
+        assert_eq!(
+            n.timestamps_of(PostId(1)).collect::<Vec<_>>(),
+            vec![TimestampId(1)]
+        );
+        assert_eq!(n.words_of(PostId(0)).count(), 0);
+    }
+
+    #[test]
+    fn adjacency_reverse_is_transpose() {
+        let n = tiny();
+        for kind in LinkKind::ALL {
+            let fwd = n.adjacency(kind, Direction::Forward);
+            let rev = n.adjacency(kind, Direction::Reverse);
+            assert_eq!(&fwd.transpose(), rev, "reverse of {kind:?}");
+        }
+    }
+
+    #[test]
+    fn link_counts() {
+        let n = tiny();
+        assert_eq!(n.link_count(LinkKind::Follow), 3);
+        assert_eq!(n.link_count(LinkKind::Write), 2);
+        assert_eq!(n.link_count(LinkKind::Checkin), 2);
+        assert_eq!(n.link_count(LinkKind::At), 2);
+        assert_eq!(n.link_count(LinkKind::HasWord), 0);
+    }
+}

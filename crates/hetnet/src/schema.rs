@@ -1,0 +1,206 @@
+//! The aligned network schema (paper Definition 3, Figure 2).
+//!
+//! Node kinds and link kinds are closed enums: the paper's analysis (and
+//! this reproduction) is specific to the social-network schema with users,
+//! posts and the word/location/timestamp attribute types. Meta paths and
+//! diagrams are validated against the endpoint signatures declared here.
+
+use std::fmt;
+
+/// The node (and attribute) types of the schema.
+///
+/// Attribute types are modeled as nodes, matching the paper's drawing of the
+/// aligned schema where posts link to timestamp/location/word nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeKind {
+    /// A user account.
+    User,
+    /// A post (tweet on Twitter, tip on Foursquare).
+    Post,
+    /// A vocabulary word (shared attribute space across networks).
+    Word,
+    /// A location / venue (shared attribute space across networks).
+    Location,
+    /// A discretized timestamp (shared attribute space across networks).
+    Timestamp,
+}
+
+impl NodeKind {
+    /// All node kinds in declaration order.
+    pub const ALL: [NodeKind; 5] = [
+        NodeKind::User,
+        NodeKind::Post,
+        NodeKind::Word,
+        NodeKind::Location,
+        NodeKind::Timestamp,
+    ];
+
+    /// True for the attribute types (shared across networks).
+    pub fn is_attribute(self) -> bool {
+        matches!(self, NodeKind::Word | NodeKind::Location | NodeKind::Timestamp)
+    }
+
+    /// Short name used by schema/path pretty-printers (matches Table I).
+    pub fn short(self) -> &'static str {
+        match self {
+            NodeKind::User => "U",
+            NodeKind::Post => "P",
+            NodeKind::Word => "W",
+            NodeKind::Location => "L",
+            NodeKind::Timestamp => "T",
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            NodeKind::User => "User",
+            NodeKind::Post => "Post",
+            NodeKind::Word => "Word",
+            NodeKind::Location => "Location",
+            NodeKind::Timestamp => "Timestamp",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The intra-network link types of the schema (Figure 2). The inter-network
+/// `anchor` type lives on [`crate::AlignedPair`], not inside a single network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LinkKind {
+    /// User → User social link ("follow"/"friend").
+    Follow,
+    /// User → Post authorship.
+    Write,
+    /// Post → Timestamp attribute association.
+    At,
+    /// Post → Location attribute association.
+    Checkin,
+    /// Post → Word attribute association (text content).
+    HasWord,
+}
+
+impl LinkKind {
+    /// All link kinds in declaration order.
+    pub const ALL: [LinkKind; 5] = [
+        LinkKind::Follow,
+        LinkKind::Write,
+        LinkKind::At,
+        LinkKind::Checkin,
+        LinkKind::HasWord,
+    ];
+
+    /// The `(source, target)` node kinds of this link type.
+    pub fn endpoints(self) -> (NodeKind, NodeKind) {
+        match self {
+            LinkKind::Follow => (NodeKind::User, NodeKind::User),
+            LinkKind::Write => (NodeKind::User, NodeKind::Post),
+            LinkKind::At => (NodeKind::Post, NodeKind::Timestamp),
+            LinkKind::Checkin => (NodeKind::Post, NodeKind::Location),
+            LinkKind::HasWord => (NodeKind::Post, NodeKind::Word),
+        }
+    }
+
+    /// Name as written in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkKind::Follow => "follow",
+            LinkKind::Write => "write",
+            LinkKind::At => "at",
+            LinkKind::Checkin => "checkin",
+            LinkKind::HasWord => "contain",
+        }
+    }
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Traversal direction of a link type within a meta path step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Source → target (the arrow direction of [`LinkKind::endpoints`]).
+    Forward,
+    /// Target → source.
+    Reverse,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Reverse,
+            Direction::Reverse => Direction::Forward,
+        }
+    }
+}
+
+/// The `(from, to)` node kinds of a link traversed in `dir`.
+pub fn step_endpoints(kind: LinkKind, dir: Direction) -> (NodeKind, NodeKind) {
+    let (s, t) = kind.endpoints();
+    match dir {
+        Direction::Forward => (s, t),
+        Direction::Reverse => (t, s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_classification_matches_paper() {
+        assert!(!NodeKind::User.is_attribute());
+        assert!(!NodeKind::Post.is_attribute());
+        assert!(NodeKind::Word.is_attribute());
+        assert!(NodeKind::Location.is_attribute());
+        assert!(NodeKind::Timestamp.is_attribute());
+    }
+
+    #[test]
+    fn endpoints_match_schema_figure() {
+        assert_eq!(LinkKind::Follow.endpoints(), (NodeKind::User, NodeKind::User));
+        assert_eq!(LinkKind::Write.endpoints(), (NodeKind::User, NodeKind::Post));
+        assert_eq!(LinkKind::At.endpoints(), (NodeKind::Post, NodeKind::Timestamp));
+        assert_eq!(
+            LinkKind::Checkin.endpoints(),
+            (NodeKind::Post, NodeKind::Location)
+        );
+        assert_eq!(LinkKind::HasWord.endpoints(), (NodeKind::Post, NodeKind::Word));
+    }
+
+    #[test]
+    fn step_endpoints_respect_direction() {
+        assert_eq!(
+            step_endpoints(LinkKind::Write, Direction::Forward),
+            (NodeKind::User, NodeKind::Post)
+        );
+        assert_eq!(
+            step_endpoints(LinkKind::Write, Direction::Reverse),
+            (NodeKind::Post, NodeKind::User)
+        );
+    }
+
+    #[test]
+    fn direction_flip_is_involution() {
+        assert_eq!(Direction::Forward.flip(), Direction::Reverse);
+        assert_eq!(Direction::Forward.flip().flip(), Direction::Forward);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NodeKind::Location.to_string(), "Location");
+        assert_eq!(NodeKind::Location.short(), "L");
+        assert_eq!(LinkKind::Checkin.to_string(), "checkin");
+    }
+
+    #[test]
+    fn all_arrays_cover_every_variant() {
+        assert_eq!(NodeKind::ALL.len(), 5);
+        assert_eq!(LinkKind::ALL.len(), 5);
+    }
+}

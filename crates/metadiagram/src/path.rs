@@ -1,0 +1,467 @@
+//! Inter-network meta paths (paper Definition 4).
+//!
+//! A meta path is a typed walk `N1 → N2 → … → Nn` across the aligned schema,
+//! restricted (as in the paper) to paths connecting a **left-network user**
+//! to a **right-network user**. Steps either traverse an intra-network link
+//! type in a chosen direction or cross networks through the undirected
+//! anchor link type. Attribute nodes (word/location/timestamp) are *shared*
+//! between networks, so a path may also cross sides through an attribute
+//! node without an anchor step — that is how P5/P6 work.
+
+use hetnet::schema::step_endpoints;
+use hetnet::{Direction, LinkKind, NetSide, NodeKind};
+use std::fmt;
+
+/// One step of a meta path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// Traverse `kind` in direction `dir` using the adjacency of `side`.
+    Link {
+        /// Which network's adjacency this step uses.
+        side: NetSide,
+        /// The link type traversed.
+        kind: LinkKind,
+        /// Traversal direction relative to the schema arrow.
+        dir: Direction,
+    },
+    /// Cross networks through an anchor link. Valid only at user nodes;
+    /// `from` is the side being left.
+    Anchor {
+        /// The side the walk is currently on.
+        from: NetSide,
+    },
+}
+
+/// Errors from meta path validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// The walk visited a node kind/side the next step cannot start from.
+    BadStep {
+        /// Index of the offending step.
+        index: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The path does not start at a left-network user.
+    BadSource,
+    /// The path does not end at a right-network user.
+    BadSink,
+    /// The path has no steps.
+    Empty,
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::BadStep { index, detail } => write!(f, "invalid step {index}: {detail}"),
+            PathError::BadSource => write!(f, "meta path must start at a left-network user"),
+            PathError::BadSink => write!(f, "meta path must end at a right-network user"),
+            PathError::Empty => write!(f, "meta path has no steps"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// A validated inter-network meta path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MetaPath {
+    name: &'static str,
+    steps: Vec<Step>,
+}
+
+/// Walk state: current node kind plus, for non-attribute kinds, the side the
+/// node belongs to. Attribute nodes are shared, so their side is `None`.
+fn advance(
+    state: (NodeKind, Option<NetSide>),
+    step: &Step,
+    index: usize,
+) -> Result<(NodeKind, Option<NetSide>), PathError> {
+    let (kind, side) = state;
+    match *step {
+        Step::Link {
+            side: s,
+            kind: lk,
+            dir,
+        } => {
+            let (from, to) = step_endpoints(lk, dir);
+            if from != kind {
+                return Err(PathError::BadStep {
+                    index,
+                    detail: format!("step needs a {from} node but the walk is at a {kind}"),
+                });
+            }
+            if let Some(cur) = side {
+                if cur != s {
+                    return Err(PathError::BadStep {
+                        index,
+                        detail: format!("step uses {s:?} adjacency but the walk is on {cur:?}"),
+                    });
+                }
+            }
+            let new_side = if to.is_attribute() { None } else { Some(s) };
+            Ok((to, new_side))
+        }
+        Step::Anchor { from } => {
+            if kind != NodeKind::User {
+                return Err(PathError::BadStep {
+                    index,
+                    detail: format!("anchor links connect users, walk is at a {kind}"),
+                });
+            }
+            match side {
+                Some(cur) if cur == from => Ok((NodeKind::User, Some(from.other()))),
+                Some(cur) => Err(PathError::BadStep {
+                    index,
+                    detail: format!("anchor step leaves {from:?} but the walk is on {cur:?}"),
+                }),
+                None => Err(PathError::BadStep {
+                    index,
+                    detail: "anchor step from an attribute node".into(),
+                }),
+            }
+        }
+    }
+}
+
+impl MetaPath {
+    /// Builds and validates a path: it must start at a left user, end at a
+    /// right user, and every step must be schema-consistent.
+    pub fn try_new(name: &'static str, steps: Vec<Step>) -> Result<Self, PathError> {
+        if steps.is_empty() {
+            return Err(PathError::Empty);
+        }
+        // Source constraint: the first step must depart from a left user.
+        let mut state = (NodeKind::User, Some(NetSide::Left));
+        match steps[0] {
+            Step::Link { side, kind, dir } => {
+                let (from, _) = step_endpoints(kind, dir);
+                if from != NodeKind::User || side != NetSide::Left {
+                    return Err(PathError::BadSource);
+                }
+            }
+            Step::Anchor { from } => {
+                if from != NetSide::Left {
+                    return Err(PathError::BadSource);
+                }
+            }
+        }
+        for (i, s) in steps.iter().enumerate() {
+            state = advance(state, s, i)?;
+        }
+        if state != (NodeKind::User, Some(NetSide::Right)) {
+            return Err(PathError::BadSink);
+        }
+        Ok(MetaPath { name, steps })
+    }
+
+    /// Path name (e.g. `"P1"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The validated steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Path length (number of links, as in the paper: length `n-1`).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Never true — validation rejects empty paths.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// True when the path contains an anchor step (P1–P4 do; the attribute
+    /// paths P5/P6 cross networks through shared attributes instead).
+    pub fn uses_anchor(&self) -> bool {
+        self.steps.iter().any(|s| matches!(s, Step::Anchor { .. }))
+    }
+}
+
+impl fmt::Display for MetaPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: U", self.name)?;
+        let mut state = (NodeKind::User, Some(NetSide::Left));
+        for (i, s) in self.steps.iter().enumerate() {
+            match s {
+                Step::Link { kind, dir, .. } => {
+                    let arrow = match dir {
+                        Direction::Forward => format!("-{kind}->"),
+                        Direction::Reverse => format!("<-{kind}-"),
+                    };
+                    write!(f, " {arrow}")?;
+                }
+                Step::Anchor { .. } => write!(f, " <-anchor->")?,
+            }
+            state = advance(state, s, i).expect("validated at construction");
+            write!(f, " {}", state.0.short())?;
+        }
+        Ok(())
+    }
+}
+
+/// Shorthand constructors for the paper's six paths (Table I).
+pub mod paper {
+    use super::*;
+
+    fn link(side: NetSide, kind: LinkKind, dir: Direction) -> Step {
+        Step::Link { side, kind, dir }
+    }
+
+    /// P1: `U -follow-> U <-anchor-> U <-follow- U` — common anchored followee.
+    pub fn p1() -> MetaPath {
+        MetaPath::try_new(
+            "P1",
+            vec![
+                link(NetSide::Left, LinkKind::Follow, Direction::Forward),
+                Step::Anchor {
+                    from: NetSide::Left,
+                },
+                link(NetSide::Right, LinkKind::Follow, Direction::Reverse),
+            ],
+        )
+        .expect("P1 is schema-valid")
+    }
+
+    /// P2: `U <-follow- U <-anchor-> U -follow-> U` — common anchored follower.
+    pub fn p2() -> MetaPath {
+        MetaPath::try_new(
+            "P2",
+            vec![
+                link(NetSide::Left, LinkKind::Follow, Direction::Reverse),
+                Step::Anchor {
+                    from: NetSide::Left,
+                },
+                link(NetSide::Right, LinkKind::Follow, Direction::Forward),
+            ],
+        )
+        .expect("P2 is schema-valid")
+    }
+
+    /// P3: `U -follow-> U <-anchor-> U -follow-> U` — followee/follower mix.
+    pub fn p3() -> MetaPath {
+        MetaPath::try_new(
+            "P3",
+            vec![
+                link(NetSide::Left, LinkKind::Follow, Direction::Forward),
+                Step::Anchor {
+                    from: NetSide::Left,
+                },
+                link(NetSide::Right, LinkKind::Follow, Direction::Forward),
+            ],
+        )
+        .expect("P3 is schema-valid")
+    }
+
+    /// P4: `U <-follow- U <-anchor-> U <-follow- U` — follower/followee mix.
+    pub fn p4() -> MetaPath {
+        MetaPath::try_new(
+            "P4",
+            vec![
+                link(NetSide::Left, LinkKind::Follow, Direction::Reverse),
+                Step::Anchor {
+                    from: NetSide::Left,
+                },
+                link(NetSide::Right, LinkKind::Follow, Direction::Reverse),
+            ],
+        )
+        .expect("P4 is schema-valid")
+    }
+
+    /// P5: `U -write-> P -at-> T <-at- P <-write- U` — common timestamp.
+    pub fn p5() -> MetaPath {
+        MetaPath::try_new(
+            "P5",
+            vec![
+                link(NetSide::Left, LinkKind::Write, Direction::Forward),
+                link(NetSide::Left, LinkKind::At, Direction::Forward),
+                link(NetSide::Right, LinkKind::At, Direction::Reverse),
+                link(NetSide::Right, LinkKind::Write, Direction::Reverse),
+            ],
+        )
+        .expect("P5 is schema-valid")
+    }
+
+    /// P6: `U -write-> P -checkin-> L <-checkin- P <-write- U` — common checkin.
+    pub fn p6() -> MetaPath {
+        MetaPath::try_new(
+            "P6",
+            vec![
+                link(NetSide::Left, LinkKind::Write, Direction::Forward),
+                link(NetSide::Left, LinkKind::Checkin, Direction::Forward),
+                link(NetSide::Right, LinkKind::Checkin, Direction::Reverse),
+                link(NetSide::Right, LinkKind::Write, Direction::Reverse),
+            ],
+        )
+        .expect("P6 is schema-valid")
+    }
+
+    /// PW (extension, not in the paper's Table I): common word,
+    /// `U -write-> P -contain-> W <-contain- P <-write- U`.
+    pub fn pw() -> MetaPath {
+        MetaPath::try_new(
+            "PW",
+            vec![
+                link(NetSide::Left, LinkKind::Write, Direction::Forward),
+                link(NetSide::Left, LinkKind::HasWord, Direction::Forward),
+                link(NetSide::Right, LinkKind::HasWord, Direction::Reverse),
+                link(NetSide::Right, LinkKind::Write, Direction::Reverse),
+            ],
+        )
+        .expect("PW is schema-valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::paper::*;
+    use super::*;
+
+    #[test]
+    fn paper_paths_validate() {
+        for p in [p1(), p2(), p3(), p4(), p5(), p6(), pw()] {
+            assert!(!p.is_empty());
+            assert!(p.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn social_paths_use_anchor_attribute_paths_do_not() {
+        for p in [p1(), p2(), p3(), p4()] {
+            assert!(p.uses_anchor(), "{} should use anchor", p.name());
+        }
+        for p in [p5(), p6(), pw()] {
+            assert!(!p.uses_anchor(), "{} should not use anchor", p.name());
+        }
+    }
+
+    #[test]
+    fn display_matches_table_one_shape() {
+        assert_eq!(p1().to_string(), "P1: U -follow-> U <-anchor-> U <-follow- U");
+        assert_eq!(
+            p5().to_string(),
+            "P5: U -write-> P -at-> T <-at- P <-write- U"
+        );
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(MetaPath::try_new("E", vec![]), Err(PathError::Empty));
+    }
+
+    #[test]
+    fn rejects_wrong_source_side() {
+        // Starting with a right-network step.
+        let bad = MetaPath::try_new(
+            "bad",
+            vec![Step::Link {
+                side: NetSide::Right,
+                kind: LinkKind::Follow,
+                dir: Direction::Forward,
+            }],
+        );
+        assert_eq!(bad, Err(PathError::BadSource));
+    }
+
+    #[test]
+    fn rejects_wrong_sink() {
+        // Ends at a left-network post.
+        let bad = MetaPath::try_new(
+            "bad",
+            vec![Step::Link {
+                side: NetSide::Left,
+                kind: LinkKind::Write,
+                dir: Direction::Forward,
+            }],
+        );
+        assert!(matches!(bad, Err(PathError::BadSink)));
+    }
+
+    #[test]
+    fn rejects_kind_mismatch_mid_path() {
+        // follow → at is impossible: at departs from a post.
+        let bad = MetaPath::try_new(
+            "bad",
+            vec![
+                Step::Link {
+                    side: NetSide::Left,
+                    kind: LinkKind::Follow,
+                    dir: Direction::Forward,
+                },
+                Step::Link {
+                    side: NetSide::Left,
+                    kind: LinkKind::At,
+                    dir: Direction::Forward,
+                },
+            ],
+        );
+        assert!(matches!(bad, Err(PathError::BadStep { index: 1, .. })));
+    }
+
+    #[test]
+    fn rejects_anchor_from_wrong_side() {
+        let bad = MetaPath::try_new(
+            "bad",
+            vec![
+                Step::Anchor {
+                    from: NetSide::Left,
+                },
+                Step::Anchor {
+                    from: NetSide::Left,
+                },
+            ],
+        );
+        assert!(matches!(bad, Err(PathError::BadStep { index: 1, .. })));
+    }
+
+    #[test]
+    fn rejects_side_mismatch_without_attribute_crossing() {
+        // A left write followed by a right at, without passing through a
+        // shared attribute first (post nodes are per-network).
+        let bad = MetaPath::try_new(
+            "bad",
+            vec![
+                Step::Link {
+                    side: NetSide::Left,
+                    kind: LinkKind::Write,
+                    dir: Direction::Forward,
+                },
+                Step::Link {
+                    side: NetSide::Right,
+                    kind: LinkKind::At,
+                    dir: Direction::Forward,
+                },
+            ],
+        );
+        assert!(matches!(bad, Err(PathError::BadStep { index: 1, .. })));
+    }
+
+    #[test]
+    fn double_anchor_round_trip_is_valid_but_odd() {
+        // U -anchor-> U -anchor-> ... must be rejected midway because the
+        // second anchor departs Right, which is fine; ends at Left → BadSink.
+        let path = MetaPath::try_new(
+            "round",
+            vec![
+                Step::Anchor {
+                    from: NetSide::Left,
+                },
+                Step::Anchor {
+                    from: NetSide::Right,
+                },
+            ],
+        );
+        assert!(matches!(path, Err(PathError::BadSink)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(PathError::Empty.to_string().contains("no steps"));
+        assert!(PathError::BadSource.to_string().contains("left-network"));
+        assert!(PathError::BadSink.to_string().contains("right-network"));
+    }
+}

@@ -1,0 +1,191 @@
+//! The central correctness property of the reproduction: the algebraic
+//! count engine produces exactly the counts an exhaustive enumerator finds,
+//! for every diagram in the full catalog, on randomized small worlds — and
+//! Lemma 1's sound direction holds structurally.
+
+use datagen::presets;
+use hetnet::aligned::anchor_matrix;
+use metadiagram::bruteforce;
+use metadiagram::{AttrCountStrategy, Catalog, CountEngine, Diagram, FeatureSet};
+use proptest::prelude::*;
+use sparsela::DenseMatrix;
+
+fn world_and_anchors(
+    seed: u64,
+    n_train: usize,
+) -> (datagen::GeneratedWorld, Vec<hetnet::AnchorLink>) {
+    let w = datagen::generate(&presets::tiny(seed));
+    let n = n_train.min(w.truth().len());
+    let train: Vec<_> = w.truth().links()[..n].to_vec();
+    (w, train)
+}
+
+fn engine_count_dense(
+    w: &datagen::GeneratedWorld,
+    train: &[hetnet::AnchorLink],
+    d: &Diagram,
+    strategy: AttrCountStrategy,
+) -> DenseMatrix {
+    let a = anchor_matrix(w.left().n_users(), w.right().n_users(), train).unwrap();
+    let e = CountEngine::with_options(w.left(), w.right(), a, strategy, true).unwrap();
+    e.count(d).to_dense()
+}
+
+proptest! {
+    // Tiny worlds are still a few thousand node pairs; keep case counts sane.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Engine == brute force for every entry in the full 31-feature catalog.
+    #[test]
+    fn engine_matches_bruteforce_on_full_catalog(seed in 0u64..500, n_train in 1usize..30) {
+        let (w, train) = world_and_anchors(seed, n_train);
+        let catalog = Catalog::new(FeatureSet::Full);
+        let a = anchor_matrix(w.left().n_users(), w.right().n_users(), &train).unwrap();
+        let engine = CountEngine::new(w.left(), w.right(), a).unwrap();
+        for entry in catalog.entries() {
+            let fast = engine.count(&entry.diagram).to_dense();
+            let slow = bruteforce::diagram_counts(w.left(), w.right(), &train, &entry.diagram);
+            prop_assert!(
+                fast.max_abs_diff(&slow) < 1e-9,
+                "mismatch on {} (seed {seed}, train {n_train})",
+                entry.name
+            );
+        }
+    }
+
+    /// Composite-key and materialize strategies agree exactly on Ψa².
+    #[test]
+    fn attr_strategies_agree(seed in 0u64..500) {
+        let (w, train) = world_and_anchors(seed, 10);
+        let d = Diagram::psi2();
+        let k = engine_count_dense(&w, &train, &d, AttrCountStrategy::CompositeKey);
+        let m = engine_count_dense(&w, &train, &d, AttrCountStrategy::Materialize);
+        prop_assert!(k.max_abs_diff(&m) < 1e-9);
+    }
+
+    /// Lemma 1, sound direction: a pair connected by a diagram instance is
+    /// connected by instances of every covering path.
+    #[test]
+    fn lemma1_projection(seed in 0u64..500) {
+        let (w, train) = world_and_anchors(seed, 12);
+        let a = anchor_matrix(w.left().n_users(), w.right().n_users(), &train).unwrap();
+        let engine = CountEngine::new(w.left(), w.right(), a).unwrap();
+        for entry in Catalog::new(FeatureSet::Full).entries() {
+            let c = engine.count(&entry.diagram);
+            let covering = entry.diagram.covering_set();
+            let mut path_counts = Vec::new();
+            for p in covering.social_paths() {
+                path_counts.push(engine.count(&Diagram::Social(p)));
+            }
+            for p in covering.attr_paths() {
+                path_counts.push(engine.count(&Diagram::Attr(p)));
+            }
+            for (i, j, v) in c.iter() {
+                if v > 0.0 {
+                    for pc in &path_counts {
+                        prop_assert!(
+                            pc.get(i, j) > 0.0,
+                            "{}: pair ({i},{j}) connected by diagram but not by a covering path",
+                            entry.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lemma 1, full equivalence for endpoint stackings: connectivity of the
+    /// stack equals the conjunction of branch connectivities.
+    #[test]
+    fn lemma1_iff_for_endpoint_stackings(seed in 0u64..500) {
+        let (w, train) = world_and_anchors(seed, 12);
+        let a = anchor_matrix(w.left().n_users(), w.right().n_users(), &train).unwrap();
+        let engine = CountEngine::new(w.left(), w.right(), a).unwrap();
+        let p1 = engine.count(&Diagram::Social(metadiagram::SocialPathId::P1));
+        let p5 = engine.count(&Diagram::Attr(metadiagram::AttrPathId::Timestamp));
+        let stack = engine.count(&Diagram::Stack(vec![
+            Diagram::Social(metadiagram::SocialPathId::P1),
+            Diagram::Attr(metadiagram::AttrPathId::Timestamp),
+        ]));
+        for i in 0..w.left().n_users() {
+            for j in 0..w.right().n_users() {
+                let both = p1.get(i, j) > 0.0 && p5.get(i, j) > 0.0;
+                prop_assert_eq!(stack.get(i, j) > 0.0, both);
+            }
+        }
+    }
+
+    /// Caching must not change any count.
+    #[test]
+    fn caching_is_transparent(seed in 0u64..500) {
+        let (w, train) = world_and_anchors(seed, 8);
+        let a = anchor_matrix(w.left().n_users(), w.right().n_users(), &train).unwrap();
+        let cached = CountEngine::with_options(
+            w.left(), w.right(), a.clone(), AttrCountStrategy::CompositeKey, true
+        ).unwrap();
+        let uncached = CountEngine::with_options(
+            w.left(), w.right(), a, AttrCountStrategy::CompositeKey, false
+        ).unwrap();
+        for entry in Catalog::new(FeatureSet::Full).entries() {
+            let c1 = cached.count(&entry.diagram);
+            let c2 = uncached.count(&entry.diagram);
+            prop_assert_eq!(&*c1, &*c2, "cache changed counts for {}", entry.name);
+        }
+    }
+}
+
+/// The paper's own dislocation example (§III-B.2), verbatim: two users whose
+/// check-in records visit the same places and the same moments but never
+/// together. P5 and P6 see strong signal; Ψ2 sees none.
+#[test]
+fn dislocation_example_from_paper() {
+    use hetnet::{HetNetBuilder, LocationId, TimestampId, UserId};
+    // Locations: 0=Chicago, 1=New York, 2=Los Angeles.
+    // Timestamps: 0=Aug'16, 1=Jan'17, 2=May'17.
+    let mut l = HetNetBuilder::new("twitter", 1, 3, 3, 0);
+    for (loc, ts) in [(0u32, 0u32), (1, 1), (2, 2)] {
+        let p = l.add_post(UserId(0)).unwrap();
+        l.add_checkin(p, LocationId(loc)).unwrap();
+        l.add_at(p, TimestampId(ts)).unwrap();
+    }
+    let left = l.build();
+
+    let mut r = HetNetBuilder::new("foursquare", 1, 3, 3, 0);
+    for (loc, ts) in [(2u32, 0u32), (0, 1), (1, 2)] {
+        let p = r.add_post(UserId(0)).unwrap();
+        r.add_checkin(p, LocationId(loc)).unwrap();
+        r.add_at(p, TimestampId(ts)).unwrap();
+    }
+    let right = r.build();
+
+    let a = anchor_matrix(1, 1, &[]).unwrap();
+    let engine = CountEngine::new(&left, &right, a).unwrap();
+    let p5 = engine.count(&Diagram::Attr(metadiagram::AttrPathId::Timestamp));
+    let p6 = engine.count(&Diagram::Attr(metadiagram::AttrPathId::Location));
+    let psi2 = engine.count(&Diagram::psi2());
+    assert_eq!(p5.get(0, 0), 3.0, "three same-time coincidences");
+    assert_eq!(p6.get(0, 0), 3.0, "three same-place coincidences");
+    assert_eq!(psi2.get(0, 0), 0.0, "but never the same place at the same time");
+}
+
+/// The word-attribute extension (FullWithWords) must satisfy the same
+/// engine ≡ brute-force equality on a vocabulary-enabled world.
+#[test]
+fn words_catalog_matches_bruteforce() {
+    let mut cfg = presets::tiny(61);
+    cfg.n_words = 40;
+    cfg.words_per_post = 2;
+    let w = datagen::generate(&cfg);
+    let train: Vec<_> = w.truth().links()[..10].to_vec();
+    let a = anchor_matrix(w.left().n_users(), w.right().n_users(), &train).unwrap();
+    let engine = CountEngine::new(w.left(), w.right(), a).unwrap();
+    for entry in Catalog::new(FeatureSet::FullWithWords).entries() {
+        let fast = engine.count(&entry.diagram).to_dense();
+        let slow = bruteforce::diagram_counts(w.left(), w.right(), &train, &entry.diagram);
+        assert!(
+            fast.max_abs_diff(&slow) < 1e-9,
+            "mismatch on {} in the words catalog",
+            entry.name
+        );
+    }
+}

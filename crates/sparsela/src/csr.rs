@@ -1,0 +1,468 @@
+//! Compressed sparse row matrices.
+//!
+//! The workhorse representation of the meta-path count engine: every typed
+//! adjacency matrix and every path/diagram count matrix is a [`CsrMatrix`].
+//! Column indices are kept sorted within each row, which the merge-based
+//! operations ([`CsrMatrix::hadamard`], [`CsrMatrix::add`]) rely on.
+
+use crate::dense::DenseMatrix;
+use crate::error::{Result, SparseError};
+
+/// An immutable sparse matrix in CSR format with `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix after validating all structural invariants:
+    /// `indptr` monotone with `indptr[0] == 0` and
+    /// `indptr[nrows] == indices.len() == values.len()`, and column indices
+    /// strictly increasing within each row (sorted, no duplicates) and within
+    /// bounds.
+    pub fn try_new(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if indptr.len() != nrows + 1 {
+            return Err(SparseError::InvalidStructure(format!(
+                "indptr length {} != nrows + 1 = {}",
+                indptr.len(),
+                nrows + 1
+            )));
+        }
+        if indptr[0] != 0 {
+            return Err(SparseError::InvalidStructure("indptr[0] != 0".into()));
+        }
+        if *indptr.last().unwrap() != indices.len() || indices.len() != values.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "indptr end {} vs indices {} vs values {}",
+                indptr.last().unwrap(),
+                indices.len(),
+                values.len()
+            )));
+        }
+        for r in 0..nrows {
+            if indptr[r] > indptr[r + 1] {
+                return Err(SparseError::InvalidStructure(format!(
+                    "indptr not monotone at row {r}"
+                )));
+            }
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "row {r} columns not strictly increasing"
+                    )));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last >= ncols {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "row {r} has column {last} >= ncols {ncols}"
+                    )));
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Builds a CSR matrix from parts that are already known to satisfy the
+    /// invariants (e.g. produced by [`crate::CooMatrix::to_csr`] or by the
+    /// kernels in this crate). Invariants are checked in debug builds only.
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert!(
+            Self::try_new(nrows, ncols, indptr.clone(), indices.clone(), values.clone()).is_ok(),
+            "from_parts_unchecked received malformed CSR parts"
+        );
+        CsrMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// The all-zero `nrows × ncols` matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            indptr: vec![0; nrows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Builds a CSR matrix from a dense row-major buffer, skipping zeros.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != nrows * ncols`.
+    pub fn from_dense(nrows: usize, ncols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "dense buffer size mismatch");
+        let mut indptr = Vec::with_capacity(nrows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for r in 0..nrows {
+            for c in 0..ncols {
+                let v = data[r * ncols + c];
+                if v != 0.0 {
+                    indices.push(c);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of explicitly stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Raw row-pointer array (length `nrows + 1`).
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Raw column-index array.
+    #[inline]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Raw value array.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates the `(column, value)` pairs of row `r` in ascending column
+    /// order. Empty iterator for out-of-range rows would be a bug, so this
+    /// panics instead.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (lo, hi) = (self.indptr[r], self.indptr[r + 1]);
+        self.indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Number of stored entries in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Value at `(r, c)`, `0.0` when not stored. Binary search within the row.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (lo, hi) = (self.indptr[r], self.indptr[r + 1]);
+        match self.indices[lo..hi].binary_search(&c) {
+            Ok(pos) => self.values[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates all `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.nrows).flat_map(move |r| self.row(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Returns the transpose. O(nnz + nrows + ncols).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.indices {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0usize; self.nnz()];
+        let mut values = vec![0f64; self.nnz()];
+        let mut cursor = indptr.clone();
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                let dst = cursor[c];
+                indices[dst] = r;
+                values[dst] = v;
+                cursor[c] += 1;
+            }
+        }
+        // Row indices are appended in increasing order of r, so each
+        // transposed row is already sorted.
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Applies `f` to every stored value, keeping the sparsity pattern.
+    pub fn map_values(&self, mut f: impl FnMut(f64) -> f64) -> CsrMatrix {
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Multiplies every stored value by `s`.
+    pub fn scaled(&self, s: f64) -> CsrMatrix {
+        self.map_values(|v| v * s)
+    }
+
+    /// Drops stored entries with `|value| <= eps` (structural zeros included
+    /// when `eps >= 0`).
+    pub fn pruned(&self, eps: f64) -> CsrMatrix {
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        indptr.push(0);
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                if v.abs() > eps {
+                    indices.push(c);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Converts to a dense matrix (tests and small problems only).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            d[(r, c)] = v;
+        }
+        d
+    }
+
+    /// Sum of each row; length `nrows`.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.nrows)
+            .map(|r| self.row(r).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// Sum of each column; length `ncols`.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0f64; self.ncols];
+        for (_, c, v) in self.iter() {
+            sums[c] += v;
+        }
+        sums
+    }
+
+    /// Sum of all stored values.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Dense matrix–vector product `self * x`.
+    ///
+    /// # Errors
+    /// [`SparseError::DimMismatch`] when `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.ncols {
+            return Err(SparseError::DimMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        Ok((0..self.nrows)
+            .map(|r| self.row(r).map(|(c, v)| v * x[c]).sum())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [3, 4, 0]]
+        CsrMatrix::from_dense(3, 3, &[1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0, 4.0, 0.0])
+    }
+
+    #[test]
+    fn try_new_validates_structure() {
+        assert!(CsrMatrix::try_new(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+        // indptr wrong length
+        assert!(CsrMatrix::try_new(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
+        // indptr not starting at zero
+        assert!(CsrMatrix::try_new(2, 2, vec![1, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
+        // non-monotone indptr
+        assert!(CsrMatrix::try_new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
+        // duplicate column in a row
+        assert!(CsrMatrix::try_new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
+        // unsorted columns in a row
+        assert!(CsrMatrix::try_new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
+        // column out of bounds
+        assert!(CsrMatrix::try_new(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // value/index length mismatch
+        assert!(CsrMatrix::try_new(1, 2, vec![0, 1], vec![0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn get_and_row_access() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(2, 1), 4.0);
+        assert_eq!(m.row(1).count(), 0);
+        assert_eq!(m.row_nnz(2), 2);
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(0, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.get(0, 0), 1.0);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.get(1, 2), 4.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn transpose_rectangular() {
+        let m = CsrMatrix::from_dense(2, 3, &[1.0, 2.0, 0.0, 0.0, 3.0, 4.0]);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(1, 0), 2.0);
+        assert_eq!(t.get(1, 1), 3.0);
+        assert_eq!(t.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn identity_and_zeros() {
+        let i = CsrMatrix::identity(3);
+        assert_eq!(i.nnz(), 3);
+        assert_eq!(i.get(1, 1), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        let z = CsrMatrix::zeros(2, 5);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.shape(), (2, 5));
+    }
+
+    #[test]
+    fn sums_and_total() {
+        let m = sample();
+        assert_eq!(m.row_sums(), vec![3.0, 0.0, 7.0]);
+        assert_eq!(m.col_sums(), vec![4.0, 4.0, 2.0]);
+        assert_eq!(m.total(), 10.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = sample();
+        let y = m.matvec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![7.0, 0.0, 11.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn map_scale_prune() {
+        let m = sample();
+        let doubled = m.scaled(2.0);
+        assert_eq!(doubled.get(2, 1), 8.0);
+        let pruned = m.map_values(|v| if v > 2.5 { v } else { 0.0 }).pruned(0.0);
+        assert_eq!(pruned.nnz(), 2);
+        assert_eq!(pruned.get(2, 0), 3.0);
+        assert_eq!(pruned.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let m = sample();
+        let d = m.to_dense();
+        let back = CsrMatrix::from_dense(3, 3, d.data());
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn iter_yields_row_major_triplets() {
+        let m = sample();
+        let triplets: Vec<_> = m.iter().collect();
+        assert_eq!(
+            triplets,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
+        );
+    }
+}

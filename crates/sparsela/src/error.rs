@@ -1,0 +1,88 @@
+//! Error type shared by all sparsela operations.
+
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, SparseError>;
+
+/// Errors produced by matrix construction and algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// Two operands had incompatible shapes for the requested operation.
+    DimMismatch {
+        /// Operation that failed, e.g. `"spgemm"`.
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// A coordinate fell outside the declared matrix shape.
+    IndexOutOfBounds {
+        /// Offending row.
+        row: usize,
+        /// Offending column.
+        col: usize,
+        /// Declared shape.
+        shape: (usize, usize),
+    },
+    /// CSR structural invariants were violated (see [`crate::CsrMatrix::try_new`]).
+    InvalidStructure(String),
+    /// A matrix expected to be symmetric positive definite was not.
+    NotPositiveDefinite {
+        /// Pivot index at which factorization failed.
+        pivot: usize,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            SparseError::IndexOutOfBounds { row, col, shape } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {}x{} matrix",
+                shape.0, shape.1
+            ),
+            SparseError::InvalidStructure(msg) => write!(f, "invalid CSR structure: {msg}"),
+            SparseError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SparseError::DimMismatch {
+            op: "spgemm",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert!(e.to_string().contains("spgemm"));
+        assert!(e.to_string().contains("2x3"));
+
+        let e = SparseError::IndexOutOfBounds {
+            row: 9,
+            col: 1,
+            shape: (3, 3),
+        };
+        assert!(e.to_string().contains("(9, 1)"));
+
+        let e = SparseError::NotPositiveDefinite { pivot: 4 };
+        assert!(e.to_string().contains("pivot 4"));
+
+        let e = SparseError::InvalidStructure("bad indptr".into());
+        assert!(e.to_string().contains("bad indptr"));
+    }
+}

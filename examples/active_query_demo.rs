@@ -1,0 +1,39 @@
+//! Active query demo: sweep the label budget and compare the paper's
+//! conflict-based query strategy against random querying — the dynamics
+//! behind the paper's Figure 5.
+//!
+//! ```sh
+//! cargo run --release --example active_query_demo
+//! ```
+
+use social_align::prelude::*;
+
+fn main() {
+    let world = datagen::generate(&datagen::presets::small(23));
+    // Harder protocol than the quickstart: more negatives per positive and
+    // only 60% of the training fold labeled, as in the paper's Fig. 5.
+    let spec = ExperimentSpec::cell(10, 0.6).with_rotations(3);
+
+    let baseline = run_experiment(&world, &spec, Method::IterMpmd);
+    println!(
+        "Iter-MPMD (no queries)        F1 {:.3}±{:.2}",
+        baseline.f1.mean, baseline.f1.std
+    );
+    println!();
+    println!("{:<8} {:>16} {:>16}", "budget", "ActiveIter F1", "ActiveIter-Rand F1");
+    for budget in [10usize, 25, 50, 75, 100] {
+        let active = run_experiment(&world, &spec, Method::ActiveIter { budget });
+        let random = run_experiment(&world, &spec, Method::ActiveIterRand { budget });
+        println!(
+            "{:<8} {:>10.3}±{:.2} {:>10.3}±{:.2}",
+            budget, active.f1.mean, active.f1.std, random.f1.mean, random.f1.std
+        );
+    }
+    println!();
+    println!(
+        "The conflict strategy spends its budget on likely false negatives\n\
+         (near-tie losers of the greedy matching), so each queried label can\n\
+         correct several conflicting links at once; random queries mostly\n\
+         hit easy negatives and help far less — the paper's Fig. 5 shape."
+    );
+}

@@ -1,0 +1,70 @@
+//! The paper's §III-B.2 motivating example, reproduced exactly.
+//!
+//! Two accounts check in at the same three cities and the same three
+//! moments — but never the same city at the same moment. Meta paths P5
+//! ("common timestamp") and P6 ("common checkin") report a strong match;
+//! the meta diagram Ψ2 = P5 × P6, which requires the *same pair of posts*
+//! to share place AND time, correctly reports nothing.
+//!
+//! ```sh
+//! cargo run --example dislocation
+//! ```
+
+use hetnet::aligned::anchor_matrix;
+use hetnet::{HetNetBuilder, LocationId, TimestampId, UserId};
+use metadiagram::{dice_proximity, AttrPathId, CountEngine, Diagram};
+
+fn main() {
+    let cities = ["Chicago", "New York", "Los Angeles"];
+    let moments = ["Aug 2016", "Jan 2017", "May 2017"];
+
+    // u(1): (Chicago, Aug 2016), (New York, Jan 2017), (Los Angeles, May 2017)
+    let mut left = HetNetBuilder::new("twitter", 1, 3, 3, 0);
+    for (loc, ts) in [(0u32, 0u32), (1, 1), (2, 2)] {
+        let p = left.add_post(UserId(0)).unwrap();
+        left.add_checkin(p, LocationId(loc)).unwrap();
+        left.add_at(p, TimestampId(ts)).unwrap();
+        println!("u(1) checked in at {:<12} during {}", cities[loc as usize], moments[ts as usize]);
+    }
+    let left = left.build();
+
+    // u(2): (Los Angeles, Aug 2016), (Chicago, Jan 2017), (New York, May 2017)
+    let mut right = HetNetBuilder::new("foursquare", 1, 3, 3, 0);
+    for (loc, ts) in [(2u32, 0u32), (0, 1), (1, 2)] {
+        let p = right.add_post(UserId(0)).unwrap();
+        right.add_checkin(p, LocationId(loc)).unwrap();
+        right.add_at(p, TimestampId(ts)).unwrap();
+        println!("u(2) checked in at {:<12} during {}", cities[loc as usize], moments[ts as usize]);
+    }
+    let right = right.build();
+
+    let engine = CountEngine::new(&left, &right, anchor_matrix(1, 1, &[]).unwrap())
+        .expect("attribute universes match");
+
+    let p5 = engine.count(&Diagram::Attr(AttrPathId::Timestamp));
+    let p6 = engine.count(&Diagram::Attr(AttrPathId::Location));
+    let psi2 = engine.count(&Diagram::psi2());
+
+    println!();
+    println!("P5 (common timestamp)  instances: {}", p5.get(0, 0));
+    println!("P6 (common checkin)    instances: {}", p6.get(0, 0));
+    println!("Ψ2 = P5×P6 (joint)     instances: {}", psi2.get(0, 0));
+    println!();
+    println!("P5 proximity: {:.3}", dice_proximity(&p5).get(0, 0));
+    println!("P6 proximity: {:.3}", dice_proximity(&p6).get(0, 0));
+    println!("Ψ2 proximity: {:.3}", dice_proximity(&psi2).get(0, 0));
+    println!();
+    println!(
+        "Meta paths see {} same-place and {} same-time coincidences and would\n\
+         call these accounts a likely match; the meta diagram sees that the\n\
+         activities are fully dislocated (never the same place at the same\n\
+         time) and scores the pair zero — the paper's motivation for meta\n\
+         diagrams, reproduced.",
+        p6.get(0, 0),
+        p5.get(0, 0)
+    );
+
+    assert_eq!(p5.get(0, 0), 3.0);
+    assert_eq!(p6.get(0, 0), 3.0);
+    assert_eq!(psi2.get(0, 0), 0.0);
+}

@@ -1,0 +1,63 @@
+//! # social-align — Meta Diagram based Active Social Networks Alignment
+//!
+//! A from-scratch Rust reproduction of **"Meta Diagram based Active Social
+//! Networks Alignment"** (Ren, Aggarwal, Zhang — ICDE 2019): the
+//! **ActiveIter** model, every baseline it is evaluated against, and every
+//! substrate the pipeline needs.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use social_align::prelude::*;
+//!
+//! // 1. Two aligned attributed heterogeneous networks (synthetic stand-in
+//! //    for the paper's Foursquare/Twitter crawl).
+//! let world = datagen::generate(&datagen::presets::tiny(7));
+//!
+//! // 2. The paper's protocol: NP-ratio sampling + stratified folds.
+//! let spec = ExperimentSpec::cell(3, 1.0).with_rotations(1);
+//!
+//! // 3. Run ActiveIter with a query budget of 10 against the baselines.
+//! let active = run_experiment(&world, &spec, Method::ActiveIter { budget: 10 });
+//! let pu = run_experiment(&world, &spec, Method::IterMpmd);
+//! println!("ActiveIter F1 = {:.3}, Iter-MPMD F1 = {:.3}", active.f1.mean, pu.f1.mean);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`sparsela`] | CSR/COO sparse + dense linear algebra, SpGEMM, Cholesky ridge |
+//! | [`hetnet`] | attributed heterogeneous networks, schema, anchors |
+//! | [`metadiagram`] | meta paths P1–P6, meta diagrams, covering sets, count engine, Dice proximity, the 31-feature catalog |
+//! | [`datagen`] | seeded generator of aligned network pairs (Table II proportions) |
+//! | [`activeiter`] | the ActiveIter model, Iter-MPMD, ActiveIter-Rand, SVM baselines |
+//! | [`eval`] | folds, NP-ratio/sample-ratio protocol, metrics, paper-style tables |
+//!
+//! The `bench` crate regenerates every table and figure of the paper's
+//! evaluation section (see EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use activeiter;
+pub use datagen;
+pub use eval;
+pub use hetnet;
+pub use metadiagram;
+pub use sparsela;
+
+/// The most common imports for downstream users.
+pub mod prelude {
+    pub use activeiter::{
+        ActiveIterModel, AlignmentInstance, ModelConfig, Oracle, QueryStrategy, VecOracle,
+    };
+    pub use datagen::{self, GeneratorConfig};
+    pub use eval::{
+        ranking_report, run_experiment, run_fold, CellResult, ExperimentSpec, LinkSet, Method,
+        Metrics, RankingReport, Table,
+    };
+    pub use eval::multi::{align_all_pairs, consistency_report, resolve_by_score, MultiSpec};
+    pub use hetnet::{AlignedPair, AnchorLink, AnchorSet, HetNet, HetNetBuilder, UserId};
+    pub use metadiagram::{Catalog, CountEngine, Diagram, FeatureSet};
+}

@@ -1,0 +1,107 @@
+//! Cross-crate invariant tests: the one-to-one constraint, budget
+//! accounting, and the queried-link evaluation rule.
+
+use social_align::prelude::*;
+use std::collections::HashSet;
+
+fn setup() -> (datagen::GeneratedWorld, LinkSet, ExperimentSpec) {
+    let world = datagen::generate(&datagen::presets::tiny(13));
+    let spec = ExperimentSpec {
+        np_ratio: 5,
+        sample_ratio: 1.0,
+        n_folds: 5,
+        rotations: 1,
+        seed: 9,
+    };
+    let ls = LinkSet::build(&world, 5, 5, spec.seed);
+    (world, ls, spec)
+}
+
+#[test]
+fn predictions_satisfy_one_to_one_for_every_pu_method() {
+    let (world, ls, spec) = setup();
+    for method in [
+        Method::IterMpmd,
+        Method::ActiveIter { budget: 15 },
+        Method::ActiveIterRand { budget: 15 },
+    ] {
+        let run = eval::run_fold(&world, &ls, &spec, method, 0);
+        let report = run.report.expect("PU methods produce reports");
+        let mut left = HashSet::new();
+        let mut right = HashSet::new();
+        for (i, &label) in report.labels.iter().enumerate() {
+            if label == 1.0 {
+                assert!(
+                    left.insert(ls.candidates[i].0),
+                    "{}: left user matched twice",
+                    method.name()
+                );
+                assert!(
+                    right.insert(ls.candidates[i].1),
+                    "{}: right user matched twice",
+                    method.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn budget_is_never_exceeded_and_queries_are_unique() {
+    let (world, ls, spec) = setup();
+    for budget in [1usize, 5, 17, 60] {
+        let run = eval::run_fold(&world, &ls, &spec, Method::ActiveIter { budget }, 0);
+        let report = run.report.unwrap();
+        assert!(
+            report.queried.len() <= budget,
+            "budget {budget} exceeded: {}",
+            report.queried.len()
+        );
+        let distinct: HashSet<usize> = report.queried.iter().map(|&(i, _)| i).collect();
+        assert_eq!(distinct.len(), report.queried.len(), "duplicate queries");
+        // Labeled positives are never queried.
+        let (train_pos, _) = ls.train_indices(0, spec.sample_ratio, spec.seed);
+        for idx in &distinct {
+            assert!(!train_pos.contains(idx), "queried a labeled positive");
+        }
+    }
+}
+
+#[test]
+fn queried_links_are_excluded_from_the_test_set() {
+    let (world, ls, spec) = setup();
+    let with_queries = eval::run_fold(&world, &ls, &spec, Method::ActiveIter { budget: 30 }, 0);
+    let queried = with_queries.report.as_ref().unwrap().queried.len();
+    let full_test = ls.test_indices(0).len();
+    // Only queried links that sit in the test folds shrink the evaluation
+    // set, so the bound is an inequality in general.
+    assert!(with_queries.n_test >= full_test - queried);
+    assert!(with_queries.n_test <= full_test);
+
+    let without = eval::run_fold(&world, &ls, &spec, Method::IterMpmd, 0);
+    assert_eq!(without.n_test, full_test, "no queries, full test set");
+}
+
+#[test]
+fn oracle_answers_match_ground_truth() {
+    let (world, ls, spec) = setup();
+    let run = eval::run_fold(&world, &ls, &spec, Method::ActiveIterRand { budget: 20 }, 0);
+    for (idx, answer) in run.report.unwrap().queried {
+        assert_eq!(answer, ls.truth[idx], "oracle must answer from ground truth");
+    }
+    let _ = world;
+}
+
+#[test]
+fn queried_positive_labels_are_final() {
+    let (world, ls, spec) = setup();
+    let run = eval::run_fold(&world, &ls, &spec, Method::ActiveIterRand { budget: 25 }, 0);
+    let report = run.report.unwrap();
+    for &(idx, answer) in &report.queried {
+        assert_eq!(
+            report.labels[idx] == 1.0,
+            answer,
+            "queried label must persist into the final assignment"
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Fig. 3-style convergence guarantees as executable tests.
+
+use social_align::prelude::*;
+
+#[test]
+fn internal_loop_converges_for_every_np_ratio() {
+    let world = datagen::generate(&datagen::presets::tiny(31));
+    for theta in [3usize, 6, 10] {
+        let spec = ExperimentSpec {
+            np_ratio: theta,
+            sample_ratio: 1.0,
+            n_folds: 5,
+            rotations: 1,
+            seed: 11,
+        };
+        let ls = LinkSet::build(&world, theta, 5, spec.seed);
+        let run = eval::run_fold(&world, &ls, &spec, Method::IterMpmd, 0);
+        let report = run.report.unwrap();
+        let deltas = &report.rounds[0].deltas;
+        assert_eq!(
+            *deltas.last().unwrap(),
+            0.0,
+            "θ={theta}: Δy must reach 0, got {deltas:?}"
+        );
+        assert!(
+            deltas.len() <= 10,
+            "θ={theta}: convergence took {} iterations (paper: < 5 typical)",
+            deltas.len()
+        );
+    }
+}
+
+#[test]
+fn deltas_are_non_negative_and_first_is_largest_or_equal() {
+    let world = datagen::generate(&datagen::presets::tiny(37));
+    let spec = ExperimentSpec {
+        np_ratio: 6,
+        sample_ratio: 1.0,
+        n_folds: 5,
+        rotations: 1,
+        seed: 2,
+    };
+    let ls = LinkSet::build(&world, 6, 5, spec.seed);
+    let run = eval::run_fold(&world, &ls, &spec, Method::IterMpmd, 0);
+    let deltas = run.report.unwrap().rounds[0].deltas.clone();
+    assert!(deltas.iter().all(|&d| d >= 0.0));
+    let first = deltas[0];
+    assert!(
+        deltas.iter().skip(1).all(|&d| d <= first + 1e-9),
+        "first flip wave should be the largest: {deltas:?}"
+    );
+}
+
+#[test]
+fn every_external_round_reconverges() {
+    let world = datagen::generate(&datagen::presets::tiny(41));
+    let spec = ExperimentSpec {
+        np_ratio: 6,
+        sample_ratio: 0.8,
+        n_folds: 5,
+        rotations: 1,
+        seed: 8,
+    };
+    let ls = LinkSet::build(&world, 6, 5, spec.seed);
+    let run = eval::run_fold(&world, &ls, &spec, Method::ActiveIter { budget: 20 }, 0);
+    let report = run.report.unwrap();
+    assert!(report.rounds.len() >= 2, "queries should trigger extra rounds");
+    for (i, round) in report.rounds.iter().enumerate() {
+        assert_eq!(
+            *round.deltas.last().unwrap(),
+            0.0,
+            "round {i} did not converge"
+        );
+    }
+}

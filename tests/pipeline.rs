@@ -1,0 +1,116 @@
+//! End-to-end pipeline tests: the paper's qualitative orderings must hold
+//! on a seeded world at a class-imbalanced setting (dev-profile-sized).
+
+use social_align::prelude::*;
+
+fn world() -> datagen::GeneratedWorld {
+    // Between `tiny` and `small`: large enough for stable orderings, small
+    // enough for dev-profile test runs.
+    let mut cfg = datagen::presets::small(77);
+    cfg.n_shared_users = 80;
+    cfg.n_extra_left = 30;
+    cfg.n_extra_right = 34;
+    datagen::generate(&cfg)
+}
+
+fn spec(theta: usize) -> ExperimentSpec {
+    ExperimentSpec {
+        np_ratio: theta,
+        sample_ratio: 0.6,
+        n_folds: 10,
+        rotations: 2,
+        seed: 5,
+    }
+}
+
+#[test]
+fn paper_shape_orderings_hold_under_imbalance() {
+    let w = world();
+    let s = spec(15);
+    let active100 = run_experiment(&w, &s, Method::ActiveIter { budget: 100 });
+    let pu = run_experiment(&w, &s, Method::IterMpmd);
+    let svm_mpmd = run_experiment(&w, &s, Method::SvmMpmd);
+    let svm_mp = run_experiment(&w, &s, Method::SvmMp);
+
+    // Shape 3/4: active querying helps over the PU baseline.
+    assert!(
+        active100.f1.mean >= pu.f1.mean - 1e-9,
+        "ActiveIter-100 ({:.3}) must not lose to Iter-MPMD ({:.3})",
+        active100.f1.mean,
+        pu.f1.mean
+    );
+    // Shape 2: the PU iterative model dominates the supervised SVM under
+    // imbalance.
+    assert!(
+        pu.f1.mean > svm_mpmd.f1.mean,
+        "Iter-MPMD ({:.3}) must beat SVM-MPMD ({:.3}) at θ=15",
+        pu.f1.mean,
+        svm_mpmd.f1.mean
+    );
+    // Shape 1: meta diagram features rescue the SVM relative to paths-only.
+    assert!(
+        svm_mpmd.f1.mean >= svm_mp.f1.mean,
+        "SVM-MPMD ({:.3}) must beat SVM-MP ({:.3})",
+        svm_mpmd.f1.mean,
+        svm_mp.f1.mean
+    );
+    // Shape 6: accuracy saturates near the majority rate for everyone.
+    for cell in [&active100, &pu, &svm_mpmd, &svm_mp] {
+        assert!(cell.accuracy.mean > 0.85, "accuracy under imbalance");
+    }
+}
+
+#[test]
+fn svm_mp_recall_collapses_at_high_imbalance() {
+    // The paper's Table III: SVM-MP recall → 0 for θ ≥ 25.
+    let w = world();
+    let s = spec(25);
+    let svm_mp = run_experiment(&w, &s, Method::SvmMp);
+    assert!(
+        svm_mp.recall.mean < 0.05,
+        "SVM-MP recall should collapse, got {:.3}",
+        svm_mp.recall.mean
+    );
+}
+
+#[test]
+fn active_beats_random_given_a_real_budget() {
+    let w = world();
+    let s = spec(20);
+    let active = run_experiment(&w, &s, Method::ActiveIter { budget: 50 });
+    let random = run_experiment(&w, &s, Method::ActiveIterRand { budget: 50 });
+    assert!(
+        active.f1.mean >= random.f1.mean - 0.02,
+        "conflict queries ({:.3}) should not lose clearly to random ({:.3})",
+        active.f1.mean,
+        random.f1.mean
+    );
+}
+
+#[test]
+fn more_training_data_helps_the_pu_model() {
+    // Shape 5 (γ direction): F1 grows with the sample ratio.
+    let w = world();
+    let lo = run_experiment(
+        &w,
+        &ExperimentSpec {
+            sample_ratio: 0.2,
+            ..spec(15)
+        },
+        Method::IterMpmd,
+    );
+    let hi = run_experiment(
+        &w,
+        &ExperimentSpec {
+            sample_ratio: 1.0,
+            ..spec(15)
+        },
+        Method::IterMpmd,
+    );
+    assert!(
+        hi.f1.mean > lo.f1.mean,
+        "γ=100% ({:.3}) must beat γ=20% ({:.3})",
+        hi.f1.mean,
+        lo.f1.mean
+    );
+}

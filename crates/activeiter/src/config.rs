@@ -104,7 +104,10 @@ impl ModelConfig {
             }
         }
         assert!(self.similar_tau >= 0.0 && self.margin_delta >= 0.0);
-        assert!(self.max_inner_iters > 0, "need at least one inner iteration");
+        assert!(
+            self.max_inner_iters > 0,
+            "need at least one inner iteration"
+        );
     }
 }
 

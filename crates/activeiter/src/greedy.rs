@@ -127,8 +127,7 @@ pub fn optimal_select(
         }
         left.insert(l.0, true);
         right.insert(r.0, true);
-        let take =
-            2.0 * scores[i] - 1.0 + rec(free, pos + 1, scores, candidates, left, right);
+        let take = 2.0 * scores[i] - 1.0 + rec(free, pos + 1, scores, candidates, left, right);
         left.insert(l.0, false);
         right.insert(r.0, false);
         skip.max(take)

@@ -78,8 +78,7 @@ impl AlignmentInstance {
 
     /// The unlabeled candidate indices `U = H \ L⁺`.
     pub fn unlabeled(&self) -> Vec<usize> {
-        let labeled: std::collections::HashSet<usize> =
-            self.labeled_pos.iter().copied().collect();
+        let labeled: std::collections::HashSet<usize> = self.labeled_pos.iter().copied().collect();
         (0..self.len()).filter(|i| !labeled.contains(i)).collect()
     }
 }
@@ -89,7 +88,9 @@ mod tests {
     use super::*;
 
     fn cands(n: usize) -> Vec<(UserId, UserId)> {
-        (0..n).map(|i| (UserId(i as u32), UserId(i as u32))).collect()
+        (0..n)
+            .map(|i| (UserId(i as u32), UserId(i as u32)))
+            .collect()
     }
 
     #[test]

@@ -143,15 +143,31 @@ impl ActiveIterModel {
             for _ in 0..self.config.max_inner_iters {
                 weights = ridge.weights(&y);
                 scores = ridge.scores(&weights);
-                threshold = effective_threshold(self.config.accept_rule, &scores, &fixed_pos);
-                positive_scale = mean_positive_score(&scores, &fixed_pos);
-                let sel = greedy_select(
-                    &scores,
-                    &inst.candidates,
-                    &fixed_pos,
-                    &fixed_neg,
-                    threshold,
-                );
+                // Calibrate the threshold and scale on the fixed positives'
+                // *as-if-unlabeled* scores `ŷᵢ − Sᵢᵢ`: a fixed positive's
+                // raw fitted score is inflated by its own supervision, and
+                // the inflation grows with the training set — calibrating
+                // on raw fitted scores would therefore *hurt* recall as γ
+                // grows. Greedy-accepted candidates, in contrast, keep
+                // their raw scores on purpose: self-reinforcement of
+                // accepted labels is the self-training mechanism of the
+                // paper's iterative PU model, while the fixed positives'
+                // supervision comes from outside the loop and must only
+                // set the score scale, not ride its own feedback.
+                //
+                // With very few positives the corrected mean can degenerate
+                // to ≤ 0 (a lone positive's first-iteration score is exactly
+                // its own leverage). Fall back to the raw positive mean
+                // then: still a positive, data-derived scale, rather than an
+                // ε-threshold (which floods acceptance) or a fixed 0.5
+                // (which is far above real score scales and zeroes recall).
+                let pos_mean =
+                    calibration_mean(fixed_pos.iter().map(|&i| scores[i] - ridge.leverage(i)))
+                        .or_else(|| calibration_mean(fixed_pos.iter().map(|&i| scores[i])));
+                threshold = effective_threshold(self.config.accept_rule, pos_mean);
+                positive_scale = pos_mean.unwrap_or(1.0);
+                let sel =
+                    greedy_select(&scores, &inst.candidates, &fixed_pos, &fixed_neg, threshold);
                 let delta = l1_distance(&sel.labels, &y);
                 y = sel.labels;
                 deltas.push(delta);
@@ -207,34 +223,32 @@ impl ActiveIterModel {
     }
 }
 
-/// Mean score over the known positives; 1.0 when none are known. This is
-/// the scale factor the query strategies use to interpret the paper's
-/// absolute constants.
-fn mean_positive_score(scores: &[f64], fixed_pos: &[usize]) -> f64 {
-    if fixed_pos.is_empty() {
-        return 1.0;
-    }
-    let m = fixed_pos.iter().map(|&i| scores[i]).sum::<f64>() / fixed_pos.len() as f64;
-    if m.abs() < f64::EPSILON {
-        1.0
-    } else {
-        m
-    }
+/// Mean of the known positives' leverage-corrected scores, for calibrating
+/// the acceptance threshold and the query strategies' score scale.
+///
+/// `None` when the mean carries no usable scale information: no positive is
+/// known yet, or the corrected mean is zero/negative (reachable — e.g. a
+/// single labeled positive's first-iteration score is exactly its own
+/// leverage, correcting to 0; a negative scale would silently invert the
+/// query strategies' constants). Callers fall back to the same defaults as
+/// the no-positives case.
+fn calibration_mean(pos_scores: impl Iterator<Item = f64>) -> Option<f64> {
+    let (sum, n) = pos_scores.fold((0.0, 0usize), |(s, n), v| (s + v, n + 1));
+    (n > 0)
+        .then(|| sum / n as f64)
+        .filter(|&m| m > f64::EPSILON)
 }
 
 /// The acceptance threshold in effect for the current scores (see
-/// [`AcceptRule`]): fixed, or α × the mean score of the known positives.
-fn effective_threshold(rule: AcceptRule, scores: &[f64], fixed_pos: &[usize]) -> f64 {
+/// [`AcceptRule`]): fixed, or α × the calibration mean with a `0.5`
+/// fallback when no usable mean exists.
+fn effective_threshold(rule: AcceptRule, pos_mean: Option<f64>) -> f64 {
     match rule {
         AcceptRule::Fixed(t) => t,
-        AcceptRule::Relative { alpha } => {
-            if fixed_pos.is_empty() {
-                return 0.5;
-            }
-            let mean =
-                fixed_pos.iter().map(|&i| scores[i]).sum::<f64>() / fixed_pos.len() as f64;
-            (alpha * mean).max(f64::EPSILON)
-        }
+        AcceptRule::Relative { alpha } => match pos_mean {
+            Some(mean) => (alpha * mean).max(f64::EPSILON),
+            None => 0.5,
+        },
     }
 }
 
@@ -303,7 +317,11 @@ mod tests {
     }
 
     fn rand_model(budget: usize, seed: u64) -> ActiveIterModel {
-        let cfg = ModelConfig { budget, seed, ..test_config() };
+        let cfg = ModelConfig {
+            budget,
+            seed,
+            ..test_config()
+        };
         ActiveIterModel::new(cfg, Box::new(RandomQuery::new(seed)))
     }
 
@@ -337,7 +355,10 @@ mod tests {
     #[test]
     fn one_to_one_constraint_holds_in_output() {
         let (inst, truth) = fixture();
-        let cfg = ModelConfig { budget: 4, ..test_config() };
+        let cfg = ModelConfig {
+            budget: 4,
+            ..test_config()
+        };
         let strategy = ConflictQuery::new(cfg.similar_tau, cfg.margin_delta);
         let mut model = ActiveIterModel::new(cfg, Box::new(strategy));
         let report = model.fit(&inst, &VecOracle::new(truth));
@@ -404,6 +425,38 @@ mod tests {
         for i in report.positives() {
             assert_eq!(report.labels[i], 1.0);
         }
+    }
+
+    /// With a single labeled positive, its first-iteration score is exactly
+    /// its own leverage, so the corrected calibration mean degenerates to 0.
+    /// That must fall back to the conservative default threshold rather
+    /// than `f64::EPSILON` (which would accept every positive-scoring
+    /// candidate and let self-training reinforce the flood).
+    #[test]
+    fn degenerate_calibration_mean_does_not_flood_acceptance() {
+        let candidates: Vec<_> = (0..6).map(|i| (UserId(i), UserId(i))).collect();
+        // One labeled positive with mid features; everything else similar
+        // but weaker — nothing here justifies accepting the whole set.
+        let x = DenseMatrix::from_rows(
+            6,
+            2,
+            vec![
+                0.5, 0.5, //
+                0.3, 0.3, //
+                0.3, 0.2, //
+                0.2, 0.3, //
+                0.2, 0.2, //
+                0.1, 0.1,
+            ],
+        );
+        let inst = AlignmentInstance::new(candidates, &x, vec![0]);
+        let report = iter_mpmd(&inst, &test_config());
+        let accepted = report.labels.iter().filter(|&&l| l == 1.0).count();
+        assert!(
+            accepted < inst.len(),
+            "all {} candidates accepted — degenerate threshold flood",
+            inst.len()
+        );
     }
 
     #[test]

@@ -13,6 +13,11 @@ use sparsela::RidgeSolver;
 pub struct BoundRidge<'a> {
     inst: &'a AlignmentInstance,
     solver: RidgeSolver,
+    // Memoized leverages: they depend only on `X` and `c`, fixed for the
+    // whole fit, but only the labeled/queried indices are ever needed —
+    // computing all n eagerly would tax exactly the wall-clock the Fig. 4
+    // scalability runs measure.
+    leverages: std::cell::RefCell<Vec<Option<f64>>>,
 }
 
 impl<'a> BoundRidge<'a> {
@@ -20,7 +25,12 @@ impl<'a> BoundRidge<'a> {
     pub fn new(inst: &'a AlignmentInstance, c: f64) -> Self {
         let solver = RidgeSolver::new(&inst.features, c)
             .expect("ridge normal matrix is SPD for finite features and c > 0");
-        BoundRidge { inst, solver }
+        let leverages = std::cell::RefCell::new(vec![None; inst.len()]);
+        BoundRidge {
+            inst,
+            solver,
+            leverages,
+        }
     }
 
     /// Step (1-1): the optimal `w` for the current label vector.
@@ -31,6 +41,16 @@ impl<'a> BoundRidge<'a> {
     /// Scores `ŷ = X w` for every candidate.
     pub fn scores(&self, w: &[f64]) -> Vec<f64> {
         self.inst.features.matvec(w)
+    }
+
+    /// Leverage `S_ii` of candidate `i` (see [`RidgeSolver::leverage`]):
+    /// the in-sample optimism its own target contributes to its own score.
+    /// `scores[i] - y[i] * leverage(i)` is what candidate `i` would score
+    /// if its label entry were 0 — the common footing on which scores are
+    /// compared across candidates. Memoized per index.
+    pub fn leverage(&self, i: usize) -> f64 {
+        let mut cache = self.leverages.borrow_mut();
+        *cache[i].get_or_insert_with(|| self.solver.leverage(&self.inst.features, i))
     }
 }
 

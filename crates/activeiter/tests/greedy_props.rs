@@ -11,23 +11,21 @@ fn instance(
     max_links: usize,
     max_users: u32,
 ) -> impl Strategy<Value = (Vec<(UserId, UserId)>, Vec<f64>)> {
-    proptest::collection::vec(
-        (0..max_users, 0..max_users, 0..1000u32),
-        1..max_links,
-    )
-    .prop_map(|triples| {
-        // Deduplicate candidate pairs (the harness never emits duplicates).
-        let mut seen = HashSet::new();
-        let mut cands = Vec::new();
-        let mut scores = Vec::new();
-        for (l, r, s) in triples {
-            if seen.insert((l, r)) {
-                cands.push((UserId(l), UserId(r)));
-                scores.push(s as f64 / 1000.0);
+    proptest::collection::vec((0..max_users, 0..max_users, 0..1000u32), 1..max_links).prop_map(
+        |triples| {
+            // Deduplicate candidate pairs (the harness never emits duplicates).
+            let mut seen = HashSet::new();
+            let mut cands = Vec::new();
+            let mut scores = Vec::new();
+            for (l, r, s) in triples {
+                if seen.insert((l, r)) {
+                    cands.push((UserId(l), UserId(r)));
+                    scores.push(s as f64 / 1000.0);
+                }
             }
-        }
-        (cands, scores)
-    })
+            (cands, scores)
+        },
+    )
 }
 
 proptest! {

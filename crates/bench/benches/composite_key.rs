@@ -21,16 +21,10 @@ fn bench_composite(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
             b.iter(|| {
                 let amat =
-                    anchor_matrix(world.left().n_users(), world.right().n_users(), &train)
+                    anchor_matrix(world.left().n_users(), world.right().n_users(), &train).unwrap();
+                let engine =
+                    CountEngine::with_options(world.left(), world.right(), amat, strategy, false)
                         .unwrap();
-                let engine = CountEngine::with_options(
-                    world.left(),
-                    world.right(),
-                    amat,
-                    strategy,
-                    false,
-                )
-                .unwrap();
                 engine.count(&Diagram::psi2())
             })
         });

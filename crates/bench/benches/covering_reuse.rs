@@ -16,8 +16,7 @@ fn bench_covering(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
             b.iter(|| {
                 let amat =
-                    anchor_matrix(world.left().n_users(), world.right().n_users(), &train)
-                        .unwrap();
+                    anchor_matrix(world.left().n_users(), world.right().n_users(), &train).unwrap();
                 let engine = CountEngine::with_options(
                     world.left(),
                     world.right(),

@@ -15,24 +15,20 @@ fn bench_extraction(c: &mut Criterion) {
         let world = datagen::generate(&cfg);
         let train: Vec<_> = world.truth().links()[..world.truth().len() / 10].to_vec();
         let candidates: Vec<_> = world.truth().iter().map(|a| (a.left, a.right)).collect();
-        for (set_name, set) in [("MP", FeatureSet::MetaPathsOnly), ("MPMD", FeatureSet::Full)] {
+        for (set_name, set) in [
+            ("MP", FeatureSet::MetaPathsOnly),
+            ("MPMD", FeatureSet::Full),
+        ] {
             let catalog = Catalog::new(set);
-            group.bench_with_input(
-                BenchmarkId::new(set_name, name),
-                &(),
-                |b, _| {
-                    b.iter(|| {
-                        let amat = anchor_matrix(
-                            world.left().n_users(),
-                            world.right().n_users(),
-                            &train,
-                        )
-                        .unwrap();
-                        let engine = CountEngine::new(world.left(), world.right(), amat).unwrap();
-                        extract_features(&engine, &catalog, &candidates)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(set_name, name), &(), |b, _| {
+                b.iter(|| {
+                    let amat =
+                        anchor_matrix(world.left().n_users(), world.right().n_users(), &train)
+                            .unwrap();
+                    let engine = CountEngine::new(world.left(), world.right(), amat).unwrap();
+                    extract_features(&engine, &catalog, &candidates)
+                })
+            });
         }
     }
     group.finish();

@@ -22,15 +22,7 @@ fn bench_greedy(c: &mut Criterion) {
             .collect();
         let scores: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
-            b.iter(|| {
-                greedy_select(
-                    black_box(&scores),
-                    black_box(&candidates),
-                    &[],
-                    &[],
-                    0.5,
-                )
-            })
+            b.iter(|| greedy_select(black_box(&scores), black_box(&candidates), &[], &[], 0.5))
         });
     }
     group.finish();

@@ -23,12 +23,22 @@ fn bench_spgemm(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(1);
         let a = random_sparse(&mut rng, n, n, d);
         let b = random_sparse(&mut rng, n, n, d);
-        group.bench_with_input(BenchmarkId::new("dense_acc", format!("{n}x{n}@{d}")), &(), |bch, _| {
-            bch.iter(|| spgemm_with(black_box(&a), black_box(&b), Accumulator::Dense).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("sort_merge", format!("{n}x{n}@{d}")), &(), |bch, _| {
-            bch.iter(|| spgemm_with(black_box(&a), black_box(&b), Accumulator::SortMerge).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dense_acc", format!("{n}x{n}@{d}")),
+            &(),
+            |bch, _| {
+                bch.iter(|| spgemm_with(black_box(&a), black_box(&b), Accumulator::Dense).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sort_merge", format!("{n}x{n}@{d}")),
+            &(),
+            |bch, _| {
+                bch.iter(|| {
+                    spgemm_with(black_box(&a), black_box(&b), Accumulator::SortMerge).unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -41,11 +41,17 @@ fn main() {
         opts.seed
     );
     println!();
-    println!("{:<26} {:>8} {:>10} {:>8} {:>10}", "rule", "F1", "precision", "recall", "positives");
+    println!(
+        "{:<26} {:>8} {:>10} {:>8} {:>10}",
+        "rule", "F1", "precision", "recall", "positives"
+    );
     let rules = [
         ("Fixed(0.5) [literal]", AcceptRule::Fixed(0.5)),
         ("Relative α=0.3", AcceptRule::Relative { alpha: 0.3 }),
-        ("Relative α=0.5 [default]", AcceptRule::Relative { alpha: 0.5 }),
+        (
+            "Relative α=0.5 [default]",
+            AcceptRule::Relative { alpha: 0.5 },
+        ),
         ("Relative α=0.7", AcceptRule::Relative { alpha: 0.7 }),
         ("Relative α=0.9", AcceptRule::Relative { alpha: 0.9 }),
     ];

@@ -36,11 +36,7 @@ fn main() {
     for strategy in strategies {
         print!("{:<14}", format!("{strategy:?}"));
         for budget in bench::budget_sweep() {
-            let cell = run_experiment(
-                &world,
-                &spec,
-                Method::ActiveIterWith { budget, strategy },
-            );
+            let cell = run_experiment(&world, &spec, Method::ActiveIterWith { budget, strategy });
             print!(" {:>8.3}", cell.f1.mean);
         }
         println!();

@@ -18,7 +18,10 @@ fn main() {
         opts.seed
     );
     println!();
-    println!("{:>6} {:>10} {:>18} {:>18}", "θ", "|H|", "ActiveIter-50 (s)", "ActiveIter-100 (s)");
+    println!(
+        "{:>6} {:>10} {:>18} {:>18}",
+        "θ", "|H|", "ActiveIter-50 (s)", "ActiveIter-100 (s)"
+    );
 
     let mut xs: Vec<f64> = Vec::new();
     let mut ys50: Vec<f64> = Vec::new();

@@ -13,8 +13,10 @@ fn main() {
     let opts = bench::HarnessOpts::from_args();
 
     if show_catalog {
-        println!("=== Table I: the meta diagram catalog Φ ({} features) ===",
-                 Catalog::new(FeatureSet::Full).len());
+        println!(
+            "=== Table I: the meta diagram catalog Φ ({} features) ===",
+            Catalog::new(FeatureSet::Full).len()
+        );
         for (i, entry) in Catalog::new(FeatureSet::Full).entries().iter().enumerate() {
             println!(
                 "{:>3}  {:<22} covering = {{{}}}",

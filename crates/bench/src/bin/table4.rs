@@ -21,7 +21,10 @@ fn main() {
             opts.seed
         ),
         "γ",
-        gammas.iter().map(|g| format!("{:.0}%", g * 100.0)).collect(),
+        gammas
+            .iter()
+            .map(|g| format!("{:.0}%", g * 100.0))
+            .collect(),
         methods.iter().map(|m| m.name()).collect(),
         Metrics::NAMES.iter().map(|s| s.to_string()).collect(),
     );
@@ -61,7 +64,11 @@ fn main() {
             active,
             (gamma + 0.1) * 100.0,
             pu_plus,
-            if active >= pu_plus { "← active wins" } else { "" }
+            if active >= pu_plus {
+                "← active wins"
+            } else {
+                ""
+            }
         );
     }
 }

@@ -193,7 +193,10 @@ mod tests {
         }
         // With skew 1.2 over 100 items, the top-10 mass is far above the
         // uniform 10%.
-        assert!(head as f64 / trials as f64 > 0.4, "head mass {head}/{trials}");
+        assert!(
+            head as f64 / trials as f64 > 0.4,
+            "head mass {head}/{trials}"
+        );
     }
 
     #[test]
@@ -301,7 +304,9 @@ mod tests {
         let loc = PopularitySampler::new(cfg.n_locations, 0.0);
         let ts = PopularitySampler::new(cfg.n_timestamps, 0.0);
         let mut r = rng();
-        let pool = ArchetypePool { habits: vec![(0, 0)] };
+        let pool = ArchetypePool {
+            habits: vec![(0, 0)],
+        };
         let p = sample_profile(&mut r, &cfg, &loc, &ts, None, Some(&pool));
         // 64 independent draws over 120×80 pairs virtually never all equal (0,0).
         assert!(p.habits.iter().any(|&h| h != (0, 0)));

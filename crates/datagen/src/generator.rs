@@ -1,6 +1,8 @@
 //! World assembly: latent graph → two networks → aligned pair.
 
-use crate::activity::{generate_posts, sample_archetypes, sample_profile, PopularitySampler, Profile};
+use crate::activity::{
+    generate_posts, sample_archetypes, sample_profile, PopularitySampler, Profile,
+};
 use crate::config::GeneratorConfig;
 use crate::follow::{latent_graph, materialize_network};
 use hetnet::{
@@ -43,7 +45,15 @@ pub fn generate(cfg: &GeneratorConfig) -> GeneratedWorld {
 
     // Social structure.
     let latent = latent_graph(&mut rng, cfg);
-    let left_edges = materialize_network(&mut rng, &latent, cfg.keep_left, &|u| u, n_left, cfg, n_shared);
+    let left_edges = materialize_network(
+        &mut rng,
+        &latent,
+        cfg.keep_left,
+        &|u| u,
+        n_left,
+        cfg,
+        n_shared,
+    );
     let sigma_ref = sigma.clone();
     let right_edges = materialize_network(
         &mut rng,
@@ -81,7 +91,14 @@ pub fn generate(cfg: &GeneratorConfig) -> GeneratedWorld {
     let shared_profiles: Vec<Profile> = (0..n_shared)
         .map(|_| {
             let arch = pick_archetype(&mut rng).map(|i| &archetypes[i]);
-            sample_profile(&mut rng, cfg, &loc_sampler, &ts_sampler, word_sampler.as_ref(), arch)
+            sample_profile(
+                &mut rng,
+                cfg,
+                &loc_sampler,
+                &ts_sampler,
+                word_sampler.as_ref(),
+                arch,
+            )
         })
         .collect();
 
@@ -286,8 +303,10 @@ mod tests {
         let a = generate(&small_cfg());
         let b = generate(&small_cfg());
         assert_eq!(a.sigma, b.sigma);
-        assert_eq!(a.left().link_count(hetnet::LinkKind::Follow),
-                   b.left().link_count(hetnet::LinkKind::Follow));
+        assert_eq!(
+            a.left().link_count(hetnet::LinkKind::Follow),
+            b.left().link_count(hetnet::LinkKind::Follow)
+        );
         assert_eq!(a.right().n_posts(), b.right().n_posts());
     }
 

@@ -49,12 +49,7 @@ impl MultiWorld {
         let sb = &self.sigmas[b];
         AnchorSet::try_new(
             (0..self.n_shared)
-                .map(|s| {
-                    AnchorLink::new(
-                        UserId::from_index(sa[s]),
-                        UserId::from_index(sb[s]),
-                    )
-                })
+                .map(|s| AnchorLink::new(UserId::from_index(sa[s]), UserId::from_index(sb[s])))
                 .collect(),
         )
         .expect("permutations induce one-to-one anchor sets")
@@ -101,7 +96,14 @@ pub fn generate_multi(cfg: &GeneratorConfig, k: usize) -> MultiWorld {
             } else {
                 Some(&archetypes[rng.gen_range(0..archetypes.len())])
             };
-            sample_profile(&mut rng, cfg, &loc_sampler, &ts_sampler, word_sampler.as_ref(), arch)
+            sample_profile(
+                &mut rng,
+                cfg,
+                &loc_sampler,
+                &ts_sampler,
+                word_sampler.as_ref(),
+                arch,
+            )
         })
         .collect();
 

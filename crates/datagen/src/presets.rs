@@ -137,7 +137,10 @@ mod tests {
         let frac_left = 300.0 / cfg.n_left_users() as f64;
         assert!((frac_left - 0.629).abs() < 0.02, "left share {frac_left}");
         let frac_right = 300.0 / cfg.n_right_users() as f64;
-        assert!((frac_right - 0.609).abs() < 0.02, "right share {frac_right}");
+        assert!(
+            (frac_right - 0.609).abs() < 0.02,
+            "right share {frac_right}"
+        );
         // Asymmetry in activity and follow retention.
         assert!(cfg.posts_per_user_left > 2.0 * cfg.posts_per_user_right);
         assert!(cfg.keep_left > cfg.keep_right);

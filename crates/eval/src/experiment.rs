@@ -129,10 +129,9 @@ impl CellResult {
 
 fn strategy_for(kind: StrategyKind, config: &ModelConfig) -> Box<dyn QueryStrategy> {
     match kind {
-        StrategyKind::Conflict => Box::new(ConflictQuery::new(
-            config.similar_tau,
-            config.margin_delta,
-        )),
+        StrategyKind::Conflict => {
+            Box::new(ConflictQuery::new(config.similar_tau, config.margin_delta))
+        }
         StrategyKind::Random => Box::new(RandomQuery::new(config.seed)),
         StrategyKind::Uncertainty => Box::new(UncertaintyQuery),
         StrategyKind::TopScore => Box::new(TopScoreQuery),
@@ -176,57 +175,56 @@ pub fn run_fold(
     let test = ls.test_indices(fold);
     let start = std::time::Instant::now();
 
-    let (predictions, link_scores, report): (Vec<bool>, Vec<f64>, Option<FitReport>) = if method
-        == Method::Unsupervised
-    {
-        let result = activeiter::unsupervised::unsupervised_align(&ls.candidates, &fm.x, 0.0);
-        let preds = result.labels.iter().map(|&l| l == 1.0).collect();
-        (preds, result.scores, None)
-    } else if method.is_svm() {
-        let train_idx: Vec<usize> = train_pos.iter().chain(train_neg.iter()).copied().collect();
-        let x_train = with_bias(&gather_rows(&fm.x, &train_idx));
-        let y_train: Vec<bool> = train_idx.iter().map(|&i| ls.truth[i]).collect();
-        let svm = SvmModel::train(
-            &x_train,
-            &y_train,
-            &SvmConfig {
-                seed: spec.seed ^ fold as u64,
+    let (predictions, link_scores, report): (Vec<bool>, Vec<f64>, Option<FitReport>) =
+        if method == Method::Unsupervised {
+            let result = activeiter::unsupervised::unsupervised_align(&ls.candidates, &fm.x, 0.0);
+            let preds = result.labels.iter().map(|&l| l == 1.0).collect();
+            (preds, result.scores, None)
+        } else if method.is_svm() {
+            let train_idx: Vec<usize> = train_pos.iter().chain(train_neg.iter()).copied().collect();
+            let x_train = with_bias(&gather_rows(&fm.x, &train_idx));
+            let y_train: Vec<bool> = train_idx.iter().map(|&i| ls.truth[i]).collect();
+            let svm = SvmModel::train(
+                &x_train,
+                &y_train,
+                &SvmConfig {
+                    seed: spec.seed ^ fold as u64,
+                    ..Default::default()
+                },
+            );
+            let decisions = svm.decision(&with_bias(&fm.x));
+            let preds = decisions.iter().map(|&v| v > 0.0).collect();
+            (preds, decisions, None)
+        } else {
+            let inst = AlignmentInstance::new(ls.candidates.clone(), &fm.x, train_pos.clone());
+            let oracle = VecOracle::new(ls.truth.clone());
+            let config = ModelConfig {
+                budget: method.budget(),
+                seed: spec.seed ^ (fold as u64) << 8,
                 ..Default::default()
-            },
-        );
-        let decisions = svm.decision(&with_bias(&fm.x));
-        let preds = decisions.iter().map(|&v| v > 0.0).collect();
-        (preds, decisions, None)
-    } else {
-        let inst = AlignmentInstance::new(ls.candidates.clone(), &fm.x, train_pos.clone());
-        let oracle = VecOracle::new(ls.truth.clone());
-        let config = ModelConfig {
-            budget: method.budget(),
-            seed: spec.seed ^ (fold as u64) << 8,
-            ..Default::default()
+            };
+            let report = match method {
+                Method::IterMpmd | Method::IterMpmdFeatures { .. } => iter_mpmd(&inst, &config),
+                Method::ActiveIter { .. } => {
+                    let strat = strategy_for(StrategyKind::Conflict, &config);
+                    ActiveIterModel::new(config, strat).fit(&inst, &oracle)
+                }
+                Method::ActiveIterRand { .. } => {
+                    let strat = strategy_for(StrategyKind::Random, &config);
+                    ActiveIterModel::new(config, strat).fit(&inst, &oracle)
+                }
+                Method::ActiveIterWith { strategy, .. } => {
+                    let strat = strategy_for(strategy, &config);
+                    ActiveIterModel::new(config, strat).fit(&inst, &oracle)
+                }
+                Method::SvmMpmd | Method::SvmMp | Method::Unsupervised => {
+                    unreachable!("handled in the dedicated branches")
+                }
+            };
+            let preds = report.labels.iter().map(|&l| l == 1.0).collect();
+            let scores = report.scores.clone();
+            (preds, scores, Some(report))
         };
-        let report = match method {
-            Method::IterMpmd | Method::IterMpmdFeatures { .. } => iter_mpmd(&inst, &config),
-            Method::ActiveIter { .. } => {
-                let strat = strategy_for(StrategyKind::Conflict, &config);
-                ActiveIterModel::new(config, strat).fit(&inst, &oracle)
-            }
-            Method::ActiveIterRand { .. } => {
-                let strat = strategy_for(StrategyKind::Random, &config);
-                ActiveIterModel::new(config, strat).fit(&inst, &oracle)
-            }
-            Method::ActiveIterWith { strategy, .. } => {
-                let strat = strategy_for(strategy, &config);
-                ActiveIterModel::new(config, strat).fit(&inst, &oracle)
-            }
-            Method::SvmMpmd | Method::SvmMp | Method::Unsupervised => {
-                unreachable!("handled in the dedicated branches")
-            }
-        };
-        let preds = report.labels.iter().map(|&l| l == 1.0).collect();
-        let scores = report.scores.clone();
-        (preds, scores, Some(report))
-    };
     let fit_time = start.elapsed();
 
     // §IV-B.3: remove queried links from the test set.
@@ -259,19 +257,18 @@ pub fn run_experiment(world: &GeneratedWorld, spec: &ExperimentSpec, method: Met
     let ls = LinkSet::build(world, spec.np_ratio, spec.n_folds, spec.seed);
     let folds: Vec<usize> = (0..spec.rotations.min(spec.n_folds)).collect();
     let mut results: Vec<(usize, Metrics)> = Vec::with_capacity(folds.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = folds
             .iter()
             .map(|&fold| {
                 let ls = &ls;
-                scope.spawn(move |_| (fold, run_fold(world, ls, spec, method, fold).metrics))
+                scope.spawn(move || (fold, run_fold(world, ls, spec, method, fold).metrics))
             })
             .collect();
         for h in handles {
             results.push(h.join().expect("fold worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     results.sort_by_key(|&(fold, _)| fold);
     let metrics: Vec<Metrics> = results.into_iter().map(|(_, m)| m).collect();
     CellResult::from_folds(&metrics)

@@ -156,13 +156,26 @@ mod tests {
         let pred = [true, true, false, false, true];
         let truth = [true, false, true, false, true];
         let c = Confusion::from_predictions(&pred, &truth);
-        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert_eq!(c.total(), 5);
     }
 
     #[test]
     fn metric_formulas() {
-        let c = Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 };
+        let c = Confusion {
+            tp: 2,
+            fp: 1,
+            tn: 1,
+            fn_: 1,
+        };
         assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
         assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
         assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);

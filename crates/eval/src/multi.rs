@@ -151,10 +151,8 @@ fn pairwise_linkset(world: &MultiWorld, a: usize, b: usize, spec: &MultiSpec) ->
     let truth = world.truth_between(a, b);
     let left = &world.nets[a];
     let right = &world.nets[b];
-    let truth_set: HashSet<(u32, u32)> =
-        truth.iter().map(|l| (l.left.0, l.right.0)).collect();
-    let mut candidates: Vec<(UserId, UserId)> =
-        truth.iter().map(|l| (l.left, l.right)).collect();
+    let truth_set: HashSet<(u32, u32)> = truth.iter().map(|l| (l.left.0, l.right.0)).collect();
+    let mut candidates: Vec<(UserId, UserId)> = truth.iter().map(|l| (l.left, l.right)).collect();
     let mut labels = vec![true; candidates.len()];
     let n_neg = candidates.len() * spec.np_ratio;
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xbadc0de ^ ((a as u64) << 8 | b as u64));
@@ -231,10 +229,7 @@ pub fn resolve_by_score(alignment: &MultiAlignment, k: usize) -> MultiAlignment 
     let mut parent: HashMap<(usize, u32), (usize, u32)> = HashMap::new();
     let mut members: HashMap<(usize, u32), HashMap<usize, u32>> = HashMap::new();
 
-    fn find(
-        parent: &mut HashMap<(usize, u32), (usize, u32)>,
-        x: (usize, u32),
-    ) -> (usize, u32) {
+    fn find(parent: &mut HashMap<(usize, u32), (usize, u32)>, x: (usize, u32)) -> (usize, u32) {
         let p = *parent.entry(x).or_insert(x);
         if p == x {
             return x;

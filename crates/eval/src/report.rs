@@ -81,12 +81,24 @@ impl fmt::Display for Table {
             writeln!(f)?;
             write!(f, "[{metric}] {:<w$}", "method", w = method_width)?;
             for c in &self.columns {
-                write!(f, " {:>cw$}", format!("{}={}", self.sweep_name, c), cw = cell_width)?;
+                write!(
+                    f,
+                    " {:>cw$}",
+                    format!("{}={}", self.sweep_name, c),
+                    cw = cell_width
+                )?;
             }
             writeln!(f)?;
             for (mi, method) in self.methods.iter().enumerate() {
                 // Align with the "[metric] " prefix of the header row.
-                write!(f, "{:<pw$}{:<w$}", "", method, pw = metric.chars().count() + 3, w = method_width)?;
+                write!(
+                    f,
+                    "{:<pw$}{:<w$}",
+                    "",
+                    method,
+                    pw = metric.chars().count() + 3,
+                    w = method_width
+                )?;
                 for ci in 0..self.columns.len() {
                     let cell = self
                         .get(metric, mi, ci)

@@ -165,11 +165,8 @@ mod tests {
     fn negatives_are_distinct_non_anchors() {
         let w = world();
         let ls = LinkSet::build(&w, 10, 10, 2);
-        let truth_set: HashSet<(u32, u32)> = w
-            .truth()
-            .iter()
-            .map(|a| (a.left.0, a.right.0))
-            .collect();
+        let truth_set: HashSet<(u32, u32)> =
+            w.truth().iter().map(|a| (a.left.0, a.right.0)).collect();
         let mut seen = HashSet::new();
         for (i, &(l, r)) in ls.candidates.iter().enumerate() {
             assert!(seen.insert((l.0, r.0)), "duplicate candidate");

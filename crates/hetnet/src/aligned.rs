@@ -269,8 +269,7 @@ mod tests {
     #[test]
     fn aligned_pair_validates_truth() {
         let (l, r) = nets();
-        let truth =
-            AnchorSet::try_new(vec![AnchorLink::new(UserId(0), UserId(0))]).unwrap();
+        let truth = AnchorSet::try_new(vec![AnchorLink::new(UserId(0), UserId(0))]).unwrap();
         let pair = AlignedPair::new(l, r, truth).unwrap();
         assert_eq!(pair.universe_size(), 9);
         assert_eq!(pair.truth().len(), 1);

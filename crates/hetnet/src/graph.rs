@@ -89,7 +89,9 @@ impl HetNet {
 
     /// Users followed by `u`.
     pub fn followees(&self, u: UserId) -> impl Iterator<Item = UserId> + '_ {
-        self.follow.row(u.index()).map(|(c, _)| UserId::from_index(c))
+        self.follow
+            .row(u.index())
+            .map(|(c, _)| UserId::from_index(c))
     }
 
     /// Users following `u`.
@@ -101,7 +103,9 @@ impl HetNet {
 
     /// Posts written by `u`.
     pub fn posts_of(&self, u: UserId) -> impl Iterator<Item = PostId> + '_ {
-        self.write.row(u.index()).map(|(c, _)| PostId::from_index(c))
+        self.write
+            .row(u.index())
+            .map(|(c, _)| PostId::from_index(c))
     }
 
     /// The author of post `p`, if any. Well-formed networks give every post
@@ -116,7 +120,9 @@ impl HetNet {
 
     /// Timestamps attached to post `p`.
     pub fn timestamps_of(&self, p: PostId) -> impl Iterator<Item = TimestampId> + '_ {
-        self.at.row(p.index()).map(|(c, _)| TimestampId::from_index(c))
+        self.at
+            .row(p.index())
+            .map(|(c, _)| TimestampId::from_index(c))
     }
 
     /// Locations attached to post `p`.

@@ -37,7 +37,10 @@ impl NodeKind {
 
     /// True for the attribute types (shared across networks).
     pub fn is_attribute(self) -> bool {
-        matches!(self, NodeKind::Word | NodeKind::Location | NodeKind::Timestamp)
+        matches!(
+            self,
+            NodeKind::Word | NodeKind::Location | NodeKind::Timestamp
+        )
     }
 
     /// Short name used by schema/path pretty-printers (matches Table I).
@@ -163,14 +166,26 @@ mod tests {
 
     #[test]
     fn endpoints_match_schema_figure() {
-        assert_eq!(LinkKind::Follow.endpoints(), (NodeKind::User, NodeKind::User));
-        assert_eq!(LinkKind::Write.endpoints(), (NodeKind::User, NodeKind::Post));
-        assert_eq!(LinkKind::At.endpoints(), (NodeKind::Post, NodeKind::Timestamp));
+        assert_eq!(
+            LinkKind::Follow.endpoints(),
+            (NodeKind::User, NodeKind::User)
+        );
+        assert_eq!(
+            LinkKind::Write.endpoints(),
+            (NodeKind::User, NodeKind::Post)
+        );
+        assert_eq!(
+            LinkKind::At.endpoints(),
+            (NodeKind::Post, NodeKind::Timestamp)
+        );
         assert_eq!(
             LinkKind::Checkin.endpoints(),
             (NodeKind::Post, NodeKind::Location)
         );
-        assert_eq!(LinkKind::HasWord.endpoints(), (NodeKind::Post, NodeKind::Word));
+        assert_eq!(
+            LinkKind::HasWord.endpoints(),
+            (NodeKind::Post, NodeKind::Word)
+        );
     }
 
     #[test]

@@ -66,7 +66,11 @@ impl Catalog {
         let mut entries = Vec::new();
         let attrs: Vec<AttrPathId> = match set {
             FeatureSet::FullWithWords => {
-                vec![AttrPathId::Timestamp, AttrPathId::Location, AttrPathId::Word]
+                vec![
+                    AttrPathId::Timestamp,
+                    AttrPathId::Location,
+                    AttrPathId::Word,
+                ]
             }
             _ => AttrPathId::PAPER.to_vec(),
         };

@@ -191,7 +191,8 @@ impl<'a> CountEngine<'a> {
 
     fn had(&self, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
         self.stats.lock().hadamard_calls += 1;
-        a.hadamard(b).expect("engine-internal shapes are consistent")
+        a.hadamard(b)
+            .expect("engine-internal shapes are consistent")
     }
 
     /// The instance count matrix of `diagram` (`|U⁽¹⁾| × |U⁽²⁾|`).
@@ -375,9 +376,7 @@ impl<'a> CountEngine<'a> {
 mod tests {
     use super::*;
     use crate::diagram::Diagram;
-    use hetnet::{
-        AnchorLink, HetNetBuilder, LocationId, TimestampId, UserId,
-    };
+    use hetnet::{AnchorLink, HetNetBuilder, LocationId, TimestampId, UserId};
 
     /// Hand-built 3+3-user world where every count is checkable by hand.
     ///
@@ -405,12 +404,8 @@ mod tests {
         r.add_at(q1, TimestampId(1)).unwrap();
         let right = r.build();
 
-        let anchor = hetnet::aligned::anchor_matrix(
-            3,
-            3,
-            &[AnchorLink::new(UserId(1), UserId(1))],
-        )
-        .unwrap();
+        let anchor =
+            hetnet::aligned::anchor_matrix(3, 3, &[AnchorLink::new(UserId(1), UserId(1))]).unwrap();
         (left, right, anchor)
     }
 
@@ -468,10 +463,11 @@ mod tests {
     #[test]
     fn both_attr_strategies_agree_on_tiny_world() {
         let (l, r, a) = tiny_world();
-        let mat = CountEngine::with_options(&l, &r, a.clone(), AttrCountStrategy::Materialize, true)
-            .unwrap();
-        let key = CountEngine::with_options(&l, &r, a, AttrCountStrategy::CompositeKey, true)
-            .unwrap();
+        let mat =
+            CountEngine::with_options(&l, &r, a.clone(), AttrCountStrategy::Materialize, true)
+                .unwrap();
+        let key =
+            CountEngine::with_options(&l, &r, a, AttrCountStrategy::CompositeKey, true).unwrap();
         let cm = mat.count(&Diagram::psi2());
         let ck = key.count(&Diagram::psi2());
         assert_eq!(&*cm, &*ck);
@@ -536,7 +532,10 @@ mod tests {
         let pair = e.count(&Diagram::SocialPair(SocialPathId::P1, SocialPathId::P1));
         let path = e.count(&Diagram::Social(SocialPathId::P1));
         assert_eq!(&*pair, &*path);
-        let apair = e.count(&Diagram::AttrPair(AttrPathId::Location, AttrPathId::Location));
+        let apair = e.count(&Diagram::AttrPair(
+            AttrPathId::Location,
+            AttrPathId::Location,
+        ));
         let apath = e.count(&Diagram::Attr(AttrPathId::Location));
         assert_eq!(&*apair, &*apath);
     }

@@ -100,10 +100,14 @@ impl CoveringSet {
 
     /// The attribute paths present.
     pub fn attr_paths(&self) -> Vec<AttrPathId> {
-        [AttrPathId::Timestamp, AttrPathId::Location, AttrPathId::Word]
-            .into_iter()
-            .filter(|&a| self.contains_attr(a))
-            .collect()
+        [
+            AttrPathId::Timestamp,
+            AttrPathId::Location,
+            AttrPathId::Word,
+        ]
+        .into_iter()
+        .filter(|&a| self.contains_attr(a))
+        .collect()
     }
 }
 

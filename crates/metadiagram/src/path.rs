@@ -341,7 +341,10 @@ mod tests {
 
     #[test]
     fn display_matches_table_one_shape() {
-        assert_eq!(p1().to_string(), "P1: U -follow-> U <-anchor-> U <-follow- U");
+        assert_eq!(
+            p1().to_string(),
+            "P1: U -follow-> U <-anchor-> U <-follow- U"
+        );
         assert_eq!(
             p5().to_string(),
             "P5: U -write-> P -at-> T <-at- P <-write- U"

@@ -76,11 +76,7 @@ mod tests {
 
     #[test]
     fn scores_are_bounded() {
-        let c = CsrMatrix::from_dense(
-            3,
-            3,
-            &[5.0, 2.0, 0.0, 1.0, 0.0, 4.0, 0.0, 7.0, 3.0],
-        );
+        let c = CsrMatrix::from_dense(3, 3, &[5.0, 2.0, 0.0, 1.0, 0.0, 4.0, 0.0, 7.0, 3.0]);
         let s = dice_proximity(&c);
         for (_, _, v) in s.iter() {
             assert!(v > 0.0 && v <= 1.0, "score {v} out of (0,1]");

@@ -165,7 +165,11 @@ fn dislocation_example_from_paper() {
     let psi2 = engine.count(&Diagram::psi2());
     assert_eq!(p5.get(0, 0), 3.0, "three same-time coincidences");
     assert_eq!(p6.get(0, 0), 3.0, "three same-place coincidences");
-    assert_eq!(psi2.get(0, 0), 0.0, "but never the same place at the same time");
+    assert_eq!(
+        psi2.get(0, 0),
+        0.0,
+        "but never the same place at the same time"
+    );
 }
 
 /// The word-attribute extension (FullWithWords) must satisfy the same

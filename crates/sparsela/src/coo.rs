@@ -119,7 +119,12 @@ impl CooMatrix {
         for r in 0..self.nrows {
             let (lo, hi) = (row_starts[r], row_starts[r + 1]);
             scratch.clear();
-            scratch.extend(cols[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()));
+            scratch.extend(
+                cols[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(vals[lo..hi].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             let mut iter = scratch.iter().copied();
             if let Some((mut cur_c, mut cur_v)) = iter.next() {

@@ -91,7 +91,14 @@ impl CsrMatrix {
         values: Vec<f64>,
     ) -> Self {
         debug_assert!(
-            Self::try_new(nrows, ncols, indptr.clone(), indices.clone(), values.clone()).is_ok(),
+            Self::try_new(
+                nrows,
+                ncols,
+                indptr.clone(),
+                indices.clone(),
+                values.clone()
+            )
+            .is_ok(),
             "from_parts_unchecked received malformed CSR parts"
         );
         CsrMatrix {

@@ -122,13 +122,7 @@ impl DenseMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.ncols, "matvec dimension mismatch");
         (0..self.nrows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(x.iter())
-                    .map(|(a, b)| a * b)
-                    .sum()
-            })
+            .map(|r| self.row(r).iter().zip(x.iter()).map(|(a, b)| a * b).sum())
             .collect()
     }
 

@@ -78,6 +78,25 @@ impl RidgeSolver {
         }
         self.factor.solve(&xty)
     }
+
+    /// Diagonal entry `S_rr` of the ridge smoother `S = c X (I + c XᵀX)⁻¹ Xᵀ`
+    /// for row `r` of the design matrix: the leverage of training row `r`,
+    /// i.e. how much its own target inflates its own fitted value
+    /// (`∂ŷ_r/∂y_r`). Always in `[0, 1)` for `c > 0`.
+    ///
+    /// `x` must be the matrix the solver was factored for.
+    ///
+    /// # Panics
+    /// Panics when `x`'s shape disagrees with the factored design or `row`
+    /// is out of range.
+    pub fn leverage(&self, x: &DenseMatrix, row: usize) -> f64 {
+        assert_eq!(x.nrows(), self.n, "X row count changed since factoring");
+        assert_eq!(x.ncols(), self.d, "X column count changed since factoring");
+        assert!(row < self.n, "row {row} out of range");
+        let xi = x.row(row);
+        let z = self.factor.solve(xi);
+        self.c * xi.iter().zip(z.iter()).map(|(a, b)| a * b).sum::<f64>()
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +169,38 @@ mod tests {
         let n_tight: f64 = w_tight.iter().map(|v| v * v).sum();
         let n_loose: f64 = w_loose.iter().map(|v| v * v).sum();
         assert!(n_tight < n_loose);
+    }
+
+    /// `ŷ = S y` with `S = c X (I + c XᵀX)⁻¹ Xᵀ`, so feeding the unit
+    /// vector `e_r` as targets makes the fitted value at row `r` exactly
+    /// `S_rr` — which `leverage` must reproduce.
+    #[test]
+    fn leverage_matches_smoother_diagonal() {
+        let x = DenseMatrix::from_rows(
+            4,
+            3,
+            vec![
+                1.0, 0.5, -1.0, //
+                0.0, 2.0, 0.3, //
+                1.5, 1.0, 1.0, //
+                -0.5, 0.0, 2.0,
+            ],
+        );
+        for &c in &[0.3, 1.0, 25.0] {
+            let solver = RidgeSolver::new(&x, c).unwrap();
+            for r in 0..4 {
+                let mut y = vec![0.0; 4];
+                y[r] = 1.0;
+                let w = solver.solve(&x, &y);
+                let fitted_r = x.matvec(&w)[r];
+                let lev = solver.leverage(&x, r);
+                assert!(
+                    (lev - fitted_r).abs() < 1e-10,
+                    "leverage({r}) = {lev} but S_rr = {fitted_r} at c = {c}"
+                );
+                assert!((0.0..1.0).contains(&lev), "leverage out of [0, 1)");
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,10 @@ fn main() {
         baseline.f1.mean, baseline.f1.std
     );
     println!();
-    println!("{:<8} {:>16} {:>16}", "budget", "ActiveIter F1", "ActiveIter-Rand F1");
+    println!(
+        "{:<8} {:>16} {:>16}",
+        "budget", "ActiveIter F1", "ActiveIter-Rand F1"
+    );
     for budget in [10usize, 25, 50, 75, 100] {
         let active = run_experiment(&world, &spec, Method::ActiveIter { budget });
         let random = run_experiment(&world, &spec, Method::ActiveIterRand { budget });

@@ -24,7 +24,10 @@ fn main() {
         let p = left.add_post(UserId(0)).unwrap();
         left.add_checkin(p, LocationId(loc)).unwrap();
         left.add_at(p, TimestampId(ts)).unwrap();
-        println!("u(1) checked in at {:<12} during {}", cities[loc as usize], moments[ts as usize]);
+        println!(
+            "u(1) checked in at {:<12} during {}",
+            cities[loc as usize], moments[ts as usize]
+        );
     }
     let left = left.build();
 
@@ -34,7 +37,10 @@ fn main() {
         let p = right.add_post(UserId(0)).unwrap();
         right.add_checkin(p, LocationId(loc)).unwrap();
         right.add_at(p, TimestampId(ts)).unwrap();
-        println!("u(2) checked in at {:<12} during {}", cities[loc as usize], moments[ts as usize]);
+        println!(
+            "u(2) checked in at {:<12} during {}",
+            cities[loc as usize], moments[ts as usize]
+        );
     }
     let right = right.build();
 

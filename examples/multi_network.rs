@@ -14,7 +14,11 @@ use eval::multi::{align_all_pairs, consistency_report, precision, resolve_by_sco
 
 fn main() {
     let world = datagen::generate_multi(&datagen::presets::small(11), 3);
-    println!("generated {} networks over {} shared users:", world.k(), world.n_shared);
+    println!(
+        "generated {} networks over {} shared users:",
+        world.k(),
+        world.n_shared
+    );
     for (i, net) in world.nets.iter().enumerate() {
         println!(
             "  net{i}: {} users, {} posts, {} follow links",

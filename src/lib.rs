@@ -53,11 +53,11 @@ pub mod prelude {
         ActiveIterModel, AlignmentInstance, ModelConfig, Oracle, QueryStrategy, VecOracle,
     };
     pub use datagen::{self, GeneratorConfig};
+    pub use eval::multi::{align_all_pairs, consistency_report, resolve_by_score, MultiSpec};
     pub use eval::{
         ranking_report, run_experiment, run_fold, CellResult, ExperimentSpec, LinkSet, Method,
         Metrics, RankingReport, Table,
     };
-    pub use eval::multi::{align_all_pairs, consistency_report, resolve_by_score, MultiSpec};
     pub use hetnet::{AlignedPair, AnchorLink, AnchorSet, HetNet, HetNetBuilder, UserId};
     pub use metadiagram::{Catalog, CountEngine, Diagram, FeatureSet};
 }

@@ -87,7 +87,10 @@ fn oracle_answers_match_ground_truth() {
     let (world, ls, spec) = setup();
     let run = eval::run_fold(&world, &ls, &spec, Method::ActiveIterRand { budget: 20 }, 0);
     for (idx, answer) in run.report.unwrap().queried {
-        assert_eq!(answer, ls.truth[idx], "oracle must answer from ground truth");
+        assert_eq!(
+            answer, ls.truth[idx],
+            "oracle must answer from ground truth"
+        );
     }
     let _ = world;
 }

@@ -64,7 +64,10 @@ fn every_external_round_reconverges() {
     let ls = LinkSet::build(&world, 6, 5, spec.seed);
     let run = eval::run_fold(&world, &ls, &spec, Method::ActiveIter { budget: 20 }, 0);
     let report = run.report.unwrap();
-    assert!(report.rounds.len() >= 2, "queries should trigger extra rounds");
+    assert!(
+        report.rounds.len() >= 2,
+        "queries should trigger extra rounds"
+    );
     for (i, round) in report.rounds.iter().enumerate() {
         assert_eq!(
             *round.deltas.last().unwrap(),

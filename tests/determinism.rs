@@ -21,7 +21,12 @@ fn whole_experiment_is_deterministic() {
     ] {
         let a = run_experiment(&world, &spec, method);
         let b = run_experiment(&world, &spec, method);
-        assert_eq!(a.per_fold, b.per_fold, "{} not deterministic", method.name());
+        assert_eq!(
+            a.per_fold,
+            b.per_fold,
+            "{} not deterministic",
+            method.name()
+        );
     }
 }
 
@@ -52,8 +57,7 @@ fn feature_extraction_is_deterministic() {
     let candidates: Vec<_> = world.truth().iter().map(|a| (a.left, a.right)).collect();
     let catalog = Catalog::new(FeatureSet::Full);
     let run = || {
-        let amat =
-            anchor_matrix(world.left().n_users(), world.right().n_users(), &train).unwrap();
+        let amat = anchor_matrix(world.left().n_users(), world.right().n_users(), &train).unwrap();
         let engine = CountEngine::new(world.left(), world.right(), amat).unwrap();
         extract_features(&engine, &catalog, &candidates)
     };

@@ -22,7 +22,10 @@ fn multi_network_pipeline_end_to_end() {
     );
     let resolved = resolve_by_score(&alignment, world.k());
     let report = consistency_report(&resolved, world.k());
-    assert_eq!(report.contradictions, 0, "repair must remove contradictions");
+    assert_eq!(
+        report.contradictions, 0,
+        "repair must remove contradictions"
+    );
 }
 
 #[test]
@@ -56,8 +59,7 @@ fn words_catalog_runs_through_the_extraction_pipeline() {
     cfg.words_per_post = 2;
     let world = datagen::generate(&cfg);
     let train: Vec<_> = world.truth().links()[..8].to_vec();
-    let amat =
-        anchor_matrix(world.left().n_users(), world.right().n_users(), &train).unwrap();
+    let amat = anchor_matrix(world.left().n_users(), world.right().n_users(), &train).unwrap();
     let engine = CountEngine::new(world.left(), world.right(), amat).unwrap();
     let catalog = Catalog::new(FeatureSet::FullWithWords);
     let candidates: Vec<_> = world.truth().iter().map(|a| (a.left, a.right)).collect();

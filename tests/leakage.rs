@@ -12,8 +12,7 @@ fn anchor_features_depend_only_on_the_training_subset() {
     let catalog = Catalog::new(FeatureSet::Full);
 
     let features_for = |anchors: &[hetnet::AnchorLink]| {
-        let amat =
-            anchor_matrix(world.left().n_users(), world.right().n_users(), anchors).unwrap();
+        let amat = anchor_matrix(world.left().n_users(), world.right().n_users(), anchors).unwrap();
         let engine = CountEngine::new(world.left(), world.right(), amat).unwrap();
         extract_features(&engine, &catalog, &candidates)
     };
@@ -54,7 +53,10 @@ fn empty_anchor_set_zeroes_social_features_only() {
     // The attribute-only features (P5, P6, Ψ2) still carry signal.
     let p5_col = catalog.names().iter().position(|&n| n == "P5").unwrap();
     let p5_sum: f64 = (0..fm.n_rows()).map(|r| fm.x[(r, p5_col)]).sum();
-    assert!(p5_sum > 0.0, "attribute features must survive without anchors");
+    assert!(
+        p5_sum > 0.0,
+        "attribute features must survive without anchors"
+    );
 }
 
 #[test]

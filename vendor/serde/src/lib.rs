@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access. The workspace uses serde
+//! only as derive annotations on result types (there is no serializer crate
+//! in the tree), so this stand-in re-exports no-op derive macros plus empty
+//! marker traits under the same names.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stand-in).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stand-in).
+pub trait Deserialize<'de>: Sized {}

@@ -15,6 +15,7 @@ fn bench_models(c: &mut Criterion) {
             n_folds: 10,
             rotations: 1,
             seed: 3,
+            threads: 1,
         };
         let ls = LinkSet::build(&world, theta, 10, spec.seed);
         for (name, method) in [

@@ -25,10 +25,15 @@ fn main() {
         Metrics::NAMES.iter().map(|s| s.to_string()).collect(),
     );
 
+    let mut recorder = opts.recorder("table3");
     for (ci, &theta) in thetas.iter().enumerate() {
         let spec = opts.spec(theta, 0.6);
         for (mi, &method) in methods.iter().enumerate() {
+            let start = std::time::Instant::now();
             let cell = run_experiment(&world, &spec, method);
+            // spec.np_ratio, not theta: the tiny preset clamps θ to the
+            // world's capacity and the record must name the θ actually run.
+            recorder.record(method.name(), spec.np_ratio, cell.f1, start.elapsed());
             for metric in Metrics::NAMES {
                 table.set(metric, mi, ci, cell.get(metric));
             }
@@ -36,4 +41,8 @@ fn main() {
         eprintln!("θ = {theta} done");
     }
     println!("{table}");
+    match recorder.write() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench record: {e}"),
+    }
 }

@@ -29,12 +29,23 @@ fn main() {
         Metrics::NAMES.iter().map(|s| s.to_string()).collect(),
     );
 
+    let mut recorder = opts.recorder("table4");
+    // The record names the θ actually run (the tiny preset clamps θ = 50
+    // down to the world's capacity).
+    recorder.annotate("theta", opts.spec(50, 0.6).np_ratio);
     let mut f1_by_gamma: Vec<(f64, f64)> = Vec::new(); // (ActiveIter-100, Iter-MPMD)
     for (ci, &gamma) in gammas.iter().enumerate() {
         let spec = opts.spec(50, gamma);
         let mut row = (0.0, 0.0);
         for (mi, &method) in methods.iter().enumerate() {
+            let start = std::time::Instant::now();
             let cell = run_experiment(&world, &spec, method);
+            recorder.record(
+                method.name(),
+                format!("{:.0}%", gamma * 100.0),
+                cell.f1,
+                start.elapsed(),
+            );
             if matches!(method, Method::ActiveIter { budget: 100 }) {
                 row.0 = cell.f1.mean;
             }
@@ -49,6 +60,10 @@ fn main() {
         eprintln!("γ = {gamma:.1} done");
     }
     println!("{table}");
+    match recorder.write() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench record: {e}"),
+    }
 
     println!();
     println!("=== §IV-D headline: ActiveIter-100 @ γ vs Iter-MPMD @ γ+10% (F1) ===");

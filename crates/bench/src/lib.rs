@@ -11,14 +11,30 @@
 use datagen::{GeneratedWorld, GeneratorConfig};
 use eval::ExperimentSpec;
 
+pub mod record;
+
 /// Harness scale, switchable from the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// Smoke-test preset: tiny world, 2 fold rotations. Seconds per table —
+    /// the CI perf-trajectory runs use this.
+    Tiny,
     /// Reduced-but-faithful defaults: small world, 3 fold rotations.
     /// Finishes in minutes on a laptop.
     Quick,
     /// Paper-proportioned world and the full 10-fold rotation.
     Full,
+}
+
+impl Scale {
+    /// The scale's name as used in the BENCH_*.json records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
 }
 
 /// Common options parsed from `std::env::args`.
@@ -30,6 +46,8 @@ pub struct HarnessOpts {
     pub seed: u64,
     /// Override for the number of fold rotations (`0` = scale default).
     pub rotations: usize,
+    /// Worker-thread budget (`0` = one per available hardware thread).
+    pub threads: usize,
 }
 
 impl Default for HarnessOpts {
@@ -38,13 +56,15 @@ impl Default for HarnessOpts {
             scale: Scale::Quick,
             seed: 42,
             rotations: 0,
+            threads: 0,
         }
     }
 }
 
 impl HarnessOpts {
-    /// Parses `--full`, `--seed N`, `--rotations N`; ignores unknown flags
-    /// (prints a note so typos are visible).
+    /// Parses `--full`, `--tiny`, `--seed N`, `--rotations N`,
+    /// `--threads N`; ignores unknown flags (prints a note so typos are
+    /// visible).
     pub fn from_args() -> Self {
         let mut opts = HarnessOpts::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +72,14 @@ impl HarnessOpts {
         while i < args.len() {
             match args[i].as_str() {
                 "--full" => opts.scale = Scale::Full,
+                "--tiny" => opts.scale = Scale::Tiny,
+                "--threads" => {
+                    i += 1;
+                    opts.threads = args
+                        .get(i)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads needs an integer");
+                }
                 "--seed" => {
                     i += 1;
                     opts.seed = args
@@ -76,6 +104,7 @@ impl HarnessOpts {
     /// The benchmark world for this scale.
     pub fn world_config(&self) -> GeneratorConfig {
         match self.scale {
+            Scale::Tiny => datagen::presets::tiny(self.seed),
             Scale::Quick => datagen::presets::small(self.seed),
             Scale::Full => datagen::presets::paper_scale(250, self.seed),
         }
@@ -92,20 +121,48 @@ impl HarnessOpts {
             return self.rotations;
         }
         match self.scale {
+            Scale::Tiny => 2,
             Scale::Quick => 3,
             Scale::Full => 10,
         }
     }
 
     /// An [`ExperimentSpec`] at (θ, γ) under these options.
+    ///
+    /// θ is clamped to the scale's world capacity: the tiny smoke world
+    /// cannot supply `θ × positives` distinct negatives at the top of the
+    /// paper's sweep, so the largest feasible ratio is used instead (the
+    /// clamp is reported on stderr).
     pub fn spec(&self, np_ratio: usize, sample_ratio: f64) -> ExperimentSpec {
+        let cfg = self.world_config();
+        let n_pos = cfg.n_shared_users;
+        let universe = cfg.n_left_users() * cfg.n_right_users() - n_pos;
+        let max_np = (universe / n_pos).max(1);
+        if np_ratio > max_np {
+            // Sweep loops call spec() once per cell; note the clamp once.
+            static CLAMP_NOTE: std::sync::Once = std::sync::Once::new();
+            CLAMP_NOTE.call_once(|| {
+                eprintln!("note: clamping θ = {np_ratio} to {max_np} (world capacity)")
+            });
+        }
         ExperimentSpec {
-            np_ratio,
+            np_ratio: np_ratio.min(max_np),
             sample_ratio,
             n_folds: 10,
             rotations: self.rotations(),
             seed: self.seed,
+            threads: self.threads,
         }
+    }
+
+    /// A [`record::BenchRecorder`] pre-annotated with these options.
+    pub fn recorder(&self, bench_name: &str) -> record::BenchRecorder {
+        let mut r = record::BenchRecorder::new(bench_name);
+        r.annotate("scale", self.scale.name());
+        r.annotate("seed", self.seed);
+        r.annotate("rotations", self.rotations());
+        r.annotate("threads", eval::effective_threads(self.threads));
+        r
     }
 }
 
@@ -153,6 +210,20 @@ mod tests {
         };
         assert_eq!(o.rotations(), 10);
         assert!(o.world_config().n_shared_users >= 250);
+    }
+
+    #[test]
+    fn tiny_scale_presets_for_ci() {
+        let o = HarnessOpts {
+            scale: Scale::Tiny,
+            ..Default::default()
+        };
+        assert_eq!(o.rotations(), 2);
+        assert_eq!(o.scale.name(), "tiny");
+        assert_eq!(o.world_config().n_shared_users, 30);
+        let spec = o.spec(3, 1.0);
+        assert_eq!(spec.threads, 0, "auto thread budget by default");
+        assert!(o.recorder("t").is_empty());
     }
 
     #[test]

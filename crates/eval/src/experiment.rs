@@ -11,10 +11,12 @@ use activeiter::svm::{SvmConfig, SvmModel};
 use activeiter::{AlignmentInstance, ModelConfig, QueryStrategy, VecOracle};
 use datagen::GeneratedWorld;
 use hetnet::AnchorLink;
-use metadiagram::{extract_features, Catalog, CountEngine};
+use metadiagram::{extract_features_par, Catalog, CountEngine, Threading};
 use serde::{Deserialize, Serialize};
 use sparsela::DenseMatrix;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// One experiment cell's protocol parameters.
@@ -31,6 +33,10 @@ pub struct ExperimentSpec {
     pub rotations: usize,
     /// Master seed; every randomized step derives from it.
     pub seed: u64,
+    /// Worker-thread budget shared by fold rotation and feature extraction;
+    /// `0` means one worker per available hardware thread. Results are
+    /// bit-identical at any setting.
+    pub threads: usize,
 }
 
 impl Default for ExperimentSpec {
@@ -41,7 +47,22 @@ impl Default for ExperimentSpec {
             n_folds: 10,
             rotations: 10,
             seed: 7,
+            threads: 0,
         }
+    }
+}
+
+/// Resolves a `threads` knob (0 = auto) to an effective worker count ≥ 1,
+/// capped at the machine's available parallelism so that large sweeps never
+/// oversubscribe the host.
+pub fn effective_threads(threads: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if threads == 0 {
+        hw
+    } else {
+        threads.min(hw)
     }
 }
 
@@ -64,6 +85,12 @@ impl ExperimentSpec {
     /// Replaces the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Replaces the worker-thread budget (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -155,6 +182,27 @@ pub fn run_fold(
     method: Method,
     fold: usize,
 ) -> FoldRun {
+    run_fold_threaded(
+        world,
+        ls,
+        spec,
+        method,
+        fold,
+        effective_threads(spec.threads),
+    )
+}
+
+/// [`run_fold`] with an explicit extraction worker count — used by
+/// [`run_experiment`] to split the thread budget between concurrent fold
+/// rotations and the per-fold feature extraction.
+fn run_fold_threaded(
+    world: &GeneratedWorld,
+    ls: &LinkSet,
+    spec: &ExperimentSpec,
+    method: Method,
+    fold: usize,
+    extract_threads: usize,
+) -> FoldRun {
     let (train_pos, train_neg) = ls.train_indices(fold, spec.sample_ratio, spec.seed);
 
     // Features: the anchor matrix sees only the γ-sampled training
@@ -170,7 +218,12 @@ pub fn run_fold(
     let engine = CountEngine::new(world.left(), world.right(), amat)
         .expect("generated networks share attribute universes");
     let catalog = Catalog::new(method.feature_set());
-    let fm = extract_features(&engine, &catalog, &ls.candidates);
+    let fm = extract_features_par(
+        &engine,
+        &catalog,
+        &ls.candidates,
+        Threading::Threads(extract_threads),
+    );
 
     let test = ls.test_indices(fold);
     let start = std::time::Instant::now();
@@ -252,23 +305,43 @@ pub fn run_fold(
 }
 
 /// Runs a full cell: builds the link set, rotates the training fold
-/// `spec.rotations` times (in parallel), and aggregates.
+/// `spec.rotations` times on a bounded worker pool, and aggregates.
+///
+/// The `spec.threads` budget (0 = auto) is shared between the two layers of
+/// parallelism: fold rotations run on at most that many pool workers —
+/// never one unbounded OS thread per rotation — and whatever budget the
+/// fold layer leaves unused flows into each fold's parallel feature
+/// extraction.
 pub fn run_experiment(world: &GeneratedWorld, spec: &ExperimentSpec, method: Method) -> CellResult {
     let ls = LinkSet::build(world, spec.np_ratio, spec.n_folds, spec.seed);
-    let folds: Vec<usize> = (0..spec.rotations.min(spec.n_folds)).collect();
-    let mut results: Vec<(usize, Metrics)> = Vec::with_capacity(folds.len());
+    let n_rot = spec.rotations.min(spec.n_folds);
+    let budget = effective_threads(spec.threads);
+    let fold_workers = budget.min(n_rot).max(1);
+    let extract_threads = (budget / fold_workers).max(1);
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Metrics)>> = Mutex::new(Vec::with_capacity(n_rot));
     std::thread::scope(|scope| {
-        let handles: Vec<_> = folds
-            .iter()
-            .map(|&fold| {
-                let ls = &ls;
-                scope.spawn(move || (fold, run_fold(world, ls, spec, method, fold).metrics))
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("fold worker panicked"));
+        for _ in 0..fold_workers {
+            let next = &next;
+            let results = &results;
+            let ls = &ls;
+            scope.spawn(move || loop {
+                let fold = next.fetch_add(1, Ordering::Relaxed);
+                if fold >= n_rot {
+                    break;
+                }
+                let run = run_fold_threaded(world, ls, spec, method, fold, extract_threads);
+                results
+                    .lock()
+                    .expect("fold results mutex poisoned")
+                    .push((fold, run.metrics));
+            });
         }
     });
+    let mut results = results
+        .into_inner()
+        .expect("fold results mutex poisoned after join");
     results.sort_by_key(|&(fold, _)| fold);
     let metrics: Vec<Metrics> = results.into_iter().map(|(_, m)| m).collect();
     CellResult::from_folds(&metrics)
@@ -286,6 +359,7 @@ mod tests {
             n_folds: 5,
             rotations: 2,
             seed: 11,
+            threads: 0,
         }
     }
 
@@ -379,6 +453,42 @@ mod tests {
         let a = run_experiment(&w, &spec, Method::IterMpmd);
         let b = run_experiment(&w, &spec, Method::IterMpmd);
         assert_eq!(a.per_fold, b.per_fold);
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_budgets() {
+        let w = world();
+        let spec = quick_spec();
+        // Drive the worker counts directly (uncapped): effective_threads
+        // would clamp every budget to available_parallelism, which makes a
+        // run_experiment-level comparison vacuous on single-core CI hosts.
+        let ls = LinkSet::build(&w, spec.np_ratio, spec.n_folds, spec.seed);
+        let serial = run_fold_threaded(&w, &ls, &spec, Method::IterMpmd, 0, 1);
+        for threads in [2usize, 4, 8] {
+            let par = run_fold_threaded(&w, &ls, &spec, Method::IterMpmd, 0, threads);
+            assert_eq!(
+                par.metrics, serial.metrics,
+                "extraction threads = {threads} diverged from serial"
+            );
+            assert_eq!(par.ranking, serial.ranking);
+        }
+        // The pooled experiment path agrees across configured budgets too.
+        let a = run_experiment(&w, &spec.clone().with_threads(1), Method::IterMpmd);
+        let b = run_experiment(&w, &spec.with_threads(0), Method::IterMpmd);
+        assert_eq!(a.per_fold, b.per_fold);
+    }
+
+    #[test]
+    fn effective_threads_is_bounded_by_hardware() {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(effective_threads(0), hw);
+        assert_eq!(effective_threads(1), 1);
+        assert!(
+            effective_threads(usize::MAX) <= hw,
+            "cap prevents oversubscription"
+        );
     }
 
     #[test]

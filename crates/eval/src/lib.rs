@@ -27,7 +27,9 @@ pub mod ranking;
 pub mod report;
 pub mod sampling;
 
-pub use experiment::{run_experiment, run_fold, CellResult, ExperimentSpec, FoldRun};
+pub use experiment::{
+    effective_threads, run_experiment, run_fold, CellResult, ExperimentSpec, FoldRun,
+};
 pub use methods::Method;
 pub use metrics::{summarize, Confusion, MetricSummary, Metrics};
 pub use multi::{align_all_pairs, consistency_report, resolve_by_score, MultiAlignment, MultiSpec};

@@ -9,6 +9,8 @@
 //! [`resolve_by_score`] repairs the collection greedily, keeping the
 //! highest-scoring pairwise links whose closure stays consistent.
 
+use crate::experiment::effective_threads;
+use crate::ranking::cmp_scores_desc;
 use crate::sampling::LinkSet;
 use activeiter::model::ActiveIterModel;
 use activeiter::query::ConflictQuery;
@@ -16,7 +18,7 @@ use activeiter::{AlignmentInstance, ModelConfig, VecOracle};
 use datagen::MultiWorld;
 use hetnet::aligned::anchor_matrix;
 use hetnet::UserId;
-use metadiagram::{extract_features, Catalog, CountEngine};
+use metadiagram::{extract_features_par, Catalog, CountEngine, Threading};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -68,6 +70,8 @@ pub struct MultiSpec {
     pub budget: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker-thread budget for per-pair feature extraction (`0` = auto).
+    pub threads: usize,
 }
 
 impl Default for MultiSpec {
@@ -77,6 +81,7 @@ impl Default for MultiSpec {
             train_fraction: 0.2,
             budget: 20,
             seed: 7,
+            threads: 0,
         }
     }
 }
@@ -110,7 +115,12 @@ pub fn align_all_pairs(world: &MultiWorld, spec: &MultiSpec) -> MultiAlignment {
         let engine = CountEngine::new(left, right, amat)
             .expect("multi-world networks share attribute universes");
         let catalog = Catalog::new(metadiagram::FeatureSet::Full);
-        let fm = extract_features(&engine, &catalog, &ls.candidates);
+        let fm = extract_features_par(
+            &engine,
+            &catalog,
+            &ls.candidates,
+            Threading::Threads(effective_threads(spec.threads)),
+        );
 
         let train_set: HashSet<(u32, u32)> = train.iter().map(|l| (l.left.0, l.right.0)).collect();
         let labeled_pos: Vec<usize> = ls
@@ -240,7 +250,9 @@ pub fn resolve_by_score(alignment: &MultiAlignment, k: usize) -> MultiAlignment 
     }
 
     let mut links: Vec<&PairwiseLink> = alignment.links.iter().collect();
-    links.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    // NaN-scored links (degenerate pairwise fits) sort last — they are
+    // considered only after every real-scored link has claimed its slots.
+    links.sort_by(|a, b| cmp_scores_desc(a.score, b.score));
 
     let mut accepted = Vec::new();
     for l in links {
@@ -300,6 +312,7 @@ mod tests {
             train_fraction: 0.3,
             budget: 10,
             seed: 3,
+            threads: 0,
         }
     }
 
@@ -397,6 +410,25 @@ mod tests {
                 contradictions: 0
             }
         );
+    }
+
+    #[test]
+    fn resolve_tolerates_nan_scores_and_ranks_them_last() {
+        let mk = |nets: (usize, usize), l: u32, r: u32, score: f64| PairwiseLink {
+            nets,
+            left: UserId(l),
+            right: UserId(r),
+            score,
+            correct: true,
+        };
+        // The NaN-scored link conflicts with a real-scored one; the real
+        // score must win, and nothing panics.
+        let alignment = MultiAlignment {
+            links: vec![mk((0, 1), 0, 0, f64::NAN), mk((0, 1), 1, 0, 0.2)],
+        };
+        let resolved = resolve_by_score(&alignment, 2);
+        assert_eq!(resolved.links.len(), 1);
+        assert_eq!(resolved.links[0].left, UserId(1));
     }
 
     #[test]

@@ -8,7 +8,23 @@
 //! rank.
 
 use hetnet::UserId;
+use std::cmp::Ordering;
 use std::collections::HashMap;
+
+/// Descending comparison of model scores that ranks NaN **last**.
+///
+/// Degenerate fits (e.g. a singular ridge system) can emit NaN scores; a
+/// `partial_cmp(..).expect(..)` here would panic and kill an entire sweep.
+/// Non-NaN scores compare via [`f64::total_cmp`] (so `-0.0`/`0.0` order
+/// deterministically), and NaN sorts after every real score.
+pub(crate) fn cmp_scores_desc(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
 
 /// Ranking evaluation over a scored candidate set.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,12 +79,7 @@ pub fn ranking_report(
         };
         n_queries += 1;
         let mut order: Vec<usize> = idxs.clone();
-        order.sort_by(|&a, &b| {
-            scores[b]
-                .partial_cmp(&scores[a])
-                .expect("finite scores")
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| cmp_scores_desc(scores[a], scores[b]).then(a.cmp(&b)));
         let rank = order
             .iter()
             .position(|&i| i == true_idx)
@@ -177,5 +188,39 @@ mod tests {
     #[should_panic(expected = "score per candidate")]
     fn length_mismatch_panics() {
         ranking_report(&[c(0, 0)], &[], &[true]);
+    }
+
+    #[test]
+    fn nan_scores_rank_last_instead_of_panicking() {
+        // A degenerate fit scored one candidate NaN: the report must not
+        // panic, and the NaN candidate must rank below every real score.
+        let candidates = vec![c(0, 0), c(0, 1), c(0, 2)];
+        let scores = vec![0.5, f64::NAN, 0.9];
+        let truth = vec![true, false, false];
+        let r = ranking_report(&candidates, &scores, &truth);
+        assert_eq!(r.n_queries, 1);
+        // True candidate (0.5) beats the NaN but loses to 0.9 → rank 2.
+        assert_eq!(r.hits_at_1, 0.0);
+        assert_eq!(r.hits_at_5, 1.0);
+        assert!((r.mrr - 0.5).abs() < 1e-12);
+
+        // All-NaN query: the true candidate ties at the bottom; ties break
+        // by candidate order, so index 0 still ranks first. No panic.
+        let all_nan = ranking_report(&[c(1, 0), c(1, 1)], &[f64::NAN, f64::NAN], &[true, false]);
+        assert_eq!(all_nan.n_queries, 1);
+        assert_eq!(all_nan.hits_at_1, 1.0);
+    }
+
+    #[test]
+    fn cmp_scores_desc_orders_nan_last() {
+        use std::cmp::Ordering;
+        assert_eq!(cmp_scores_desc(1.0, 0.5), Ordering::Less); // higher first
+        assert_eq!(cmp_scores_desc(0.5, 1.0), Ordering::Greater);
+        assert_eq!(
+            cmp_scores_desc(f64::NAN, f64::NEG_INFINITY),
+            Ordering::Greater
+        );
+        assert_eq!(cmp_scores_desc(f64::NEG_INFINITY, f64::NAN), Ordering::Less);
+        assert_eq!(cmp_scores_desc(f64::NAN, f64::NAN), Ordering::Equal);
     }
 }

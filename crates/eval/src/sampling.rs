@@ -48,16 +48,39 @@ impl LinkSet {
             "cannot sample {n_neg} negatives from a universe of {universe}"
         );
 
-        let mut negatives = Vec::with_capacity(n_neg);
-        let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(n_neg);
-        while negatives.len() < n_neg {
-            let l = rng.gen_range(0..n_left) as u32;
-            let r = rng.gen_range(0..n_right) as u32;
-            if truth_set.contains(&(l, r)) || !seen.insert((l, r)) {
-                continue;
+        // Rejection sampling degrades towards infinite looping as the
+        // requested sample approaches the universe size (every draw collides
+        // with an already-seen pair). Above 50% density, enumerate the
+        // complement once, shuffle, and take a prefix instead — same
+        // uniform-without-replacement distribution, linear time.
+        let negatives: Vec<(UserId, UserId)> = if n_neg * 2 > universe {
+            let mut complement: Vec<(u32, u32)> = Vec::with_capacity(universe);
+            for l in 0..n_left as u32 {
+                for r in 0..n_right as u32 {
+                    if !truth_set.contains(&(l, r)) {
+                        complement.push((l, r));
+                    }
+                }
             }
-            negatives.push((UserId(l), UserId(r)));
-        }
+            complement.shuffle(&mut rng);
+            complement.truncate(n_neg);
+            complement
+                .into_iter()
+                .map(|(l, r)| (UserId(l), UserId(r)))
+                .collect()
+        } else {
+            let mut negatives = Vec::with_capacity(n_neg);
+            let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(n_neg);
+            while negatives.len() < n_neg {
+                let l = rng.gen_range(0..n_left) as u32;
+                let r = rng.gen_range(0..n_right) as u32;
+                if truth_set.contains(&(l, r)) || !seen.insert((l, r)) {
+                    continue;
+                }
+                negatives.push((UserId(l), UserId(r)));
+            }
+            negatives
+        };
 
         let mut candidates = positives;
         let mut truth = vec![true; n_pos];
@@ -230,6 +253,37 @@ mod tests {
         let (p2, n2) = b.train_indices(1, 0.6, 3);
         assert_eq!(p1, p2);
         assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn dense_sampling_enumerates_the_complement() {
+        // presets::tiny: 38 × 40 user universe, 30 positives → 1490
+        // non-anchor pairs. θ = 49 requests 1470 negatives (≈ 98.7% of the
+        // universe) — the rejection sampler would thrash towards its last
+        // few draws; the complement path must return exactly the request.
+        let w = world();
+        let n_pos = w.truth().len();
+        let universe = w.left().n_users() * w.right().n_users() - n_pos;
+        let np_ratio = universe / n_pos; // as close to the bound as θ gets
+        assert!(
+            n_pos * np_ratio * 2 > universe,
+            "test must hit the dense path"
+        );
+        let ls = LinkSet::build(&w, np_ratio, 10, 8);
+        assert_eq!(ls.len(), n_pos * (np_ratio + 1));
+        // All negatives distinct and disjoint from the anchors.
+        let truth_set: HashSet<(u32, u32)> =
+            w.truth().iter().map(|a| (a.left.0, a.right.0)).collect();
+        let mut seen = HashSet::new();
+        for (i, &(l, r)) in ls.candidates.iter().enumerate() {
+            assert!(seen.insert((l.0, r.0)), "duplicate candidate");
+            if !ls.truth[i] {
+                assert!(!truth_set.contains(&(l.0, r.0)));
+            }
+        }
+        // Deterministic under seed, like the sparse path.
+        let again = LinkSet::build(&w, np_ratio, 10, 8);
+        assert_eq!(ls.candidates, again.candidates);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 use crate::diagram::{AttrPathId, Diagram, SocialPathId};
 use hetnet::{Direction, HetNet, LinkKind, NodeKind};
 use parking_lot::Mutex;
-use sparsela::{spgemm, CsrMatrix};
+use sparsela::{spgemm_threaded, Accumulator, CsrMatrix, Threading};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -98,13 +98,25 @@ pub struct EngineStats {
 }
 
 /// The count engine bound to one aligned pair and one (training) anchor set.
+///
+/// The engine is `Sync`: [`CountEngine::count`] takes `&self` and may be
+/// called from any number of scoped worker threads concurrently — the
+/// Lemma-2 memoization cache is shared across all of them behind a mutex.
+/// An optional [`Threading`] knob additionally parallelizes the *individual*
+/// SpGEMM products; leave it at `Serial` when callers already fan out over
+/// diagrams (the two levels of parallelism would otherwise oversubscribe).
 pub struct CountEngine<'a> {
     left: &'a HetNet,
     right: &'a HetNet,
     anchor: CsrMatrix,
     strategy: AttrCountStrategy,
     caching: bool,
+    threading: Threading,
     cache: Mutex<HashMap<Diagram, Arc<CsrMatrix>>>,
+    /// Per-diagram in-flight gates: concurrent callers of the same uncached
+    /// diagram serialize on its gate instead of duplicating the product
+    /// chain.
+    pending: Mutex<HashMap<Diagram, Arc<Mutex<()>>>>,
     stats: Mutex<EngineStats>,
 }
 
@@ -163,9 +175,24 @@ impl<'a> CountEngine<'a> {
             anchor,
             strategy,
             caching,
+            threading: Threading::Serial,
             cache: Mutex::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
             stats: Mutex::new(EngineStats::default()),
         })
+    }
+
+    /// Sets the [`Threading`] knob for the engine's internal SpGEMM
+    /// products (builder style).
+    #[must_use]
+    pub fn with_threading(mut self, threading: Threading) -> Self {
+        self.threading = threading;
+        self
+    }
+
+    /// The engine's SpGEMM threading knob.
+    pub fn threading(&self) -> Threading {
+        self.threading
     }
 
     /// The training anchor matrix the engine was wired with.
@@ -181,12 +208,14 @@ impl<'a> CountEngine<'a> {
     /// Clears the memoization cache and statistics.
     pub fn reset(&self) {
         self.cache.lock().clear();
+        self.pending.lock().clear();
         *self.stats.lock() = EngineStats::default();
     }
 
     fn mul(&self, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
         self.stats.lock().spgemm_calls += 1;
-        spgemm(a, b).expect("engine-internal shapes are consistent")
+        spgemm_threaded(a, b, Accumulator::Auto, self.threading)
+            .expect("engine-internal shapes are consistent")
     }
 
     fn had(&self, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
@@ -196,20 +225,39 @@ impl<'a> CountEngine<'a> {
     }
 
     /// The instance count matrix of `diagram` (`|U⁽¹⁾| × |U⁽²⁾|`).
+    ///
+    /// Safe to call from any number of threads; concurrent callers of the
+    /// same uncached diagram serialize on a per-diagram gate, so the
+    /// expensive product chain runs exactly once per distinct diagram.
     pub fn count(&self, diagram: &Diagram) -> Arc<CsrMatrix> {
-        if self.caching {
-            if let Some(hit) = self.cache.lock().get(diagram) {
-                self.stats.lock().cache_hits += 1;
-                return Arc::clone(hit);
-            }
+        if !self.caching {
+            self.stats.lock().cache_misses += 1;
+            return Arc::new(self.compute(diagram));
+        }
+        if let Some(hit) = self.cache.lock().get(diagram) {
+            self.stats.lock().cache_hits += 1;
+            return Arc::clone(hit);
+        }
+        let gate = Arc::clone(
+            self.pending
+                .lock()
+                .entry(diagram.clone())
+                .or_insert_with(|| Arc::new(Mutex::new(()))),
+        );
+        let guard = gate.lock();
+        // Double-check under the gate: a concurrent worker may have finished
+        // this diagram while we waited.
+        if let Some(hit) = self.cache.lock().get(diagram) {
+            self.stats.lock().cache_hits += 1;
+            return Arc::clone(hit);
         }
         self.stats.lock().cache_misses += 1;
         let computed = Arc::new(self.compute(diagram));
-        if self.caching {
-            self.cache
-                .lock()
-                .insert(diagram.clone(), Arc::clone(&computed));
-        }
+        self.cache
+            .lock()
+            .insert(diagram.clone(), Arc::clone(&computed));
+        drop(guard);
+        self.pending.lock().remove(diagram);
         computed
     }
 
@@ -574,6 +622,57 @@ mod tests {
         assert_eq!(e.stats(), EngineStats::default());
         let _ = e.count(&Diagram::psi1());
         assert_eq!(e.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn concurrent_counting_shares_the_cache_and_matches_serial() {
+        let (l, r, a) = tiny_world();
+        let serial = CountEngine::new(&l, &r, a.clone()).unwrap();
+        let expected_psi2 = serial.count(&Diagram::psi2());
+        let expected_psi3 = serial.count(&Diagram::psi3());
+
+        let shared = CountEngine::new(&l, &r, a).unwrap();
+        let diagrams = [Diagram::psi2(), Diagram::psi3(), Diagram::psi2()];
+        let counts: Vec<Arc<CsrMatrix>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = diagrams
+                .iter()
+                .map(|d| {
+                    let shared = &shared;
+                    scope.spawn(move || shared.count(d))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("count worker panicked"))
+                .collect()
+        });
+        assert_eq!(&*counts[0], &*expected_psi2);
+        assert_eq!(&*counts[1], &*expected_psi3);
+        assert_eq!(&*counts[2], &*expected_psi2);
+        // The in-flight gates deduplicate concurrent computation: the three
+        // requests touch exactly three distinct diagrams (Ψ2, Ψ3 and Ψ3's
+        // P1 factor), each computed exactly once wherever it landed first.
+        assert_eq!(shared.stats().cache_misses, 3);
+        let again = shared.count(&Diagram::psi3());
+        assert_eq!(&*again, &*expected_psi3);
+    }
+
+    #[test]
+    fn threaded_engine_produces_identical_counts() {
+        let (l, r, a) = tiny_world();
+        let serial = CountEngine::new(&l, &r, a.clone()).unwrap();
+        let par = CountEngine::new(&l, &r, a)
+            .unwrap()
+            .with_threading(Threading::Threads(3));
+        assert_eq!(par.threading(), Threading::Threads(3));
+        for d in [
+            Diagram::Social(SocialPathId::P1),
+            Diagram::Attr(AttrPathId::Location),
+            Diagram::psi2(),
+            Diagram::psi3(),
+        ] {
+            assert_eq!(&*serial.count(&d), &*par.count(&d), "diagram {d:?}");
+        }
     }
 
     #[test]

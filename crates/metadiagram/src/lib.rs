@@ -43,6 +43,10 @@ pub use catalog::{Catalog, CatalogEntry, FeatureSet};
 pub use count::{AttrCountStrategy, CountEngine};
 pub use covering::CoveringSet;
 pub use diagram::{AttrPathId, Diagram, SocialPathId};
-pub use features::{extract_features, FeatureMatrix};
+pub use features::{
+    extract_features, extract_features_par, proximity_matrices, proximity_matrices_par,
+    FeatureMatrix,
+};
 pub use path::{MetaPath, Step};
 pub use proximity::dice_proximity;
+pub use sparsela::Threading;

@@ -8,7 +8,9 @@
 //!   matrices from heterogeneous networks;
 //! * [`CsrMatrix`] — compressed sparse row storage with the operations the
 //!   meta-path/meta-diagram count engine relies on: [`spgemm`] (Gustavson
-//!   sparse × sparse product), [`CsrMatrix::hadamard`] (the stacking operator
+//!   sparse × sparse product, with a row-partitioned parallel variant
+//!   [`spgemm_par`] controlled by the [`Threading`] knob),
+//!   [`CsrMatrix::hadamard`] (the stacking operator
 //!   of meta diagrams), transposition, and row/column reductions;
 //! * [`DenseMatrix`] / dense vectors — the per-candidate feature matrix `X`;
 //! * [`CholeskyFactor`] and [`RidgeSolver`] — the paper's closed-form inner
@@ -36,4 +38,4 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::{Result, SparseError};
 pub use ridge::RidgeSolver;
-pub use spgemm::spgemm;
+pub use spgemm::{spgemm, spgemm_par, spgemm_threaded, spgemm_with, Accumulator, Threading};

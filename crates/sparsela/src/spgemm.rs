@@ -10,11 +10,21 @@
 //!   `(col, val)` pairs and sorts per row — better when the right-hand side
 //!   is extremely wide and rows are very sparse.
 //!
-//! [`spgemm`] picks automatically; both paths produce identical results
-//! (property-tested against a naive dense reference).
+//! [`Accumulator::Auto`] picks **per row** from a FLOP/width estimate
+//! (a whole-matrix choice mis-picks on skewed row distributions); all paths
+//! produce identical results (property-tested against a naive dense
+//! reference).
+//!
+//! The product is embarrassingly parallel over rows of the left operand:
+//! [`spgemm_par`] / [`spgemm_threaded`] split the left operand into
+//! contiguous row blocks, run the Gustavson accumulation per block on scoped
+//! workers, and stitch the per-block CSR outputs. Because row partitioning
+//! never changes the per-row computation, the parallel kernels are
+//! **bit-identical** to the serial ones at any thread count.
 
 use crate::csr::CsrMatrix;
 use crate::error::{Result, SparseError};
+use std::ops::Range;
 
 /// Strategy for the per-row accumulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,9 +33,35 @@ pub enum Accumulator {
     Dense,
     /// Collect-then-sort sparse accumulation.
     SortMerge,
-    /// Choose per input shape: dense scratch unless the output is very wide
-    /// and the expected row density is tiny.
+    /// Choose per output row: dense scratch unless the row is very sparse
+    /// relative to a very wide output.
     Auto,
+}
+
+/// Worker-count knob for the parallel kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Threading {
+    /// Single-threaded execution (no worker threads spawned).
+    #[default]
+    Serial,
+    /// Exactly this many workers (clamped to ≥ 1).
+    Threads(usize),
+    /// One worker per available hardware thread
+    /// ([`std::thread::available_parallelism`]).
+    Auto,
+}
+
+impl Threading {
+    /// The effective worker count (always ≥ 1).
+    pub fn resolve(self) -> usize {
+        match self {
+            Threading::Serial => 1,
+            Threading::Threads(n) => n.max(1),
+            Threading::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
 }
 
 /// Computes `lhs * rhs`.
@@ -33,11 +69,35 @@ pub enum Accumulator {
 /// # Errors
 /// [`SparseError::DimMismatch`] when `lhs.ncols() != rhs.nrows()`.
 pub fn spgemm(lhs: &CsrMatrix, rhs: &CsrMatrix) -> Result<CsrMatrix> {
-    spgemm_with(lhs, rhs, Accumulator::Auto)
+    spgemm_threaded(lhs, rhs, Accumulator::Auto, Threading::Serial)
 }
 
-/// [`spgemm`] with an explicit accumulator strategy.
+/// [`spgemm`] with an explicit accumulator strategy (single-threaded).
 pub fn spgemm_with(lhs: &CsrMatrix, rhs: &CsrMatrix, acc: Accumulator) -> Result<CsrMatrix> {
+    spgemm_threaded(lhs, rhs, acc, Threading::Serial)
+}
+
+/// Row-partitioned parallel [`spgemm`]: the left operand is split into
+/// contiguous row blocks, one scoped worker accumulates each block, and the
+/// per-block CSR outputs are stitched. Bit-identical to the serial kernel.
+///
+/// # Errors
+/// [`SparseError::DimMismatch`] when `lhs.ncols() != rhs.nrows()`.
+pub fn spgemm_par(lhs: &CsrMatrix, rhs: &CsrMatrix, threading: Threading) -> Result<CsrMatrix> {
+    spgemm_threaded(lhs, rhs, Accumulator::Auto, threading)
+}
+
+/// The fully general entry point: explicit accumulator strategy and
+/// explicit threading.
+///
+/// # Errors
+/// [`SparseError::DimMismatch`] when `lhs.ncols() != rhs.nrows()`.
+pub fn spgemm_threaded(
+    lhs: &CsrMatrix,
+    rhs: &CsrMatrix,
+    acc: Accumulator,
+    threading: Threading,
+) -> Result<CsrMatrix> {
     if lhs.ncols() != rhs.nrows() {
         return Err(SparseError::DimMismatch {
             op: "spgemm",
@@ -45,99 +105,167 @@ pub fn spgemm_with(lhs: &CsrMatrix, rhs: &CsrMatrix, acc: Accumulator) -> Result
             rhs: rhs.shape(),
         });
     }
-    let strategy = match acc {
-        Accumulator::Auto => {
-            // Heuristic: dense scratch is linear in the output width per row
-            // touch-reset; prefer sort-merge when the output is wide and the
-            // lhs is much smaller than the width (cheap rows).
-            if rhs.ncols() > 1 << 16 && lhs.nnz() < rhs.ncols() {
-                Accumulator::SortMerge
-            } else {
-                Accumulator::Dense
-            }
-        }
-        other => other,
-    };
-    match strategy {
-        Accumulator::Dense => Ok(dense_accumulate(lhs, rhs)),
-        Accumulator::SortMerge => Ok(sort_merge_accumulate(lhs, rhs)),
-        Accumulator::Auto => unreachable!("Auto resolved above"),
+    let n = lhs.nrows();
+    let workers = threading.resolve().min(n).max(1);
+    if workers <= 1 {
+        let block = accumulate_block(lhs, rhs, 0..n, acc);
+        return Ok(block_into_csr(n, rhs.ncols(), block));
     }
+    // Contiguous row blocks of near-equal size; the last may be shorter.
+    let chunk = n.div_ceil(workers);
+    let ranges: Vec<Range<usize>> = (0..workers)
+        .map(|w| (w * chunk).min(n)..((w + 1) * chunk).min(n))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let blocks: Vec<BlockOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|rows| scope.spawn(move || accumulate_block(lhs, rhs, rows, acc)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("spgemm worker panicked"))
+            .collect()
+    });
+    Ok(stitch_blocks(n, rhs.ncols(), blocks))
 }
 
-fn dense_accumulate(lhs: &CsrMatrix, rhs: &CsrMatrix) -> CsrMatrix {
-    let n = lhs.nrows();
+/// One row block's CSR fragment: cumulative row ends (block-local), column
+/// indices and values.
+struct BlockOut {
+    row_ends: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+/// Turns a single whole-matrix block into a CSR matrix by moving its
+/// buffers — the serial fast path pays no copy over the pre-parallel
+/// kernels.
+fn block_into_csr(nrows: usize, ncols: usize, block: BlockOut) -> CsrMatrix {
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    indptr.push(0);
+    indptr.extend(block.row_ends);
+    CsrMatrix::from_parts_unchecked(nrows, ncols, indptr, block.indices, block.values)
+}
+
+/// Concatenates per-block fragments into one CSR matrix, offsetting each
+/// block's row pointers by the nnz of the blocks before it.
+fn stitch_blocks(nrows: usize, ncols: usize, blocks: Vec<BlockOut>) -> CsrMatrix {
+    let total: usize = blocks.iter().map(|b| b.indices.len()).sum();
+    let mut indptr = Vec::with_capacity(nrows + 1);
+    let mut indices = Vec::with_capacity(total);
+    let mut values = Vec::with_capacity(total);
+    indptr.push(0);
+    let mut base = 0usize;
+    for b in blocks {
+        for &end in &b.row_ends {
+            indptr.push(base + end);
+        }
+        base += b.indices.len();
+        indices.extend_from_slice(&b.indices);
+        values.extend_from_slice(&b.values);
+    }
+    debug_assert_eq!(indptr.len(), nrows + 1);
+    CsrMatrix::from_parts_unchecked(nrows, ncols, indptr, indices, values)
+}
+
+/// Below this output width the dense scratch always wins (the one-off
+/// O(ncols) allocation is negligible).
+const DENSE_ALWAYS_WIDTH: usize = 1 << 12;
+
+/// Per-row strategy pick: dense scratch unless the row's FLOP estimate is a
+/// vanishing fraction of a very wide output. Deciding per row (rather than
+/// from whole-matrix `nnz` vs `ncols`) keeps skewed row distributions —
+/// a handful of dense hub rows among thousands of near-empty ones — on the
+/// right kernel for every row.
+fn row_wants_dense(flops: usize, width: usize) -> bool {
+    width <= DENSE_ALWAYS_WIDTH || flops >= width >> 6
+}
+
+/// Gustavson accumulation over `rows`, appending into block-local buffers.
+fn accumulate_block(
+    lhs: &CsrMatrix,
+    rhs: &CsrMatrix,
+    rows: Range<usize>,
+    acc: Accumulator,
+) -> BlockOut {
     let m = rhs.ncols();
-    let mut indptr = Vec::with_capacity(n + 1);
+    let mut row_ends = Vec::with_capacity(rows.len());
     let mut indices: Vec<usize> = Vec::new();
     let mut values: Vec<f64> = Vec::new();
-    indptr.push(0);
 
-    let mut scratch = vec![0f64; m];
+    // Dense scratch is sized lazily: an all-sort-merge block never pays the
+    // O(ncols) zero fill.
+    let mut scratch: Vec<f64> = Vec::new();
     let mut touched: Vec<usize> = Vec::new();
-    for i in 0..n {
-        touched.clear();
-        for (k, lv) in lhs.row(i) {
-            for (j, rv) in rhs.row(k) {
-                if scratch[j] == 0.0 {
-                    touched.push(j);
-                }
-                scratch[j] += lv * rv;
-            }
-        }
-        touched.sort_unstable();
-        for &j in &touched {
-            let v = scratch[j];
-            scratch[j] = 0.0;
-            if v != 0.0 {
-                indices.push(j);
-                values.push(v);
-            }
-        }
-        indptr.push(indices.len());
-    }
-    CsrMatrix::from_parts_unchecked(n, m, indptr, indices, values)
-}
-
-fn sort_merge_accumulate(lhs: &CsrMatrix, rhs: &CsrMatrix) -> CsrMatrix {
-    let n = lhs.nrows();
-    let m = rhs.ncols();
-    let mut indptr = Vec::with_capacity(n + 1);
-    let mut indices: Vec<usize> = Vec::new();
-    let mut values: Vec<f64> = Vec::new();
-    indptr.push(0);
-
     let mut row_buf: Vec<(usize, f64)> = Vec::new();
-    for i in 0..n {
-        row_buf.clear();
-        for (k, lv) in lhs.row(i) {
-            for (j, rv) in rhs.row(k) {
-                row_buf.push((j, lv * rv));
+
+    for i in rows {
+        let use_dense = match acc {
+            Accumulator::Dense => true,
+            Accumulator::SortMerge => false,
+            Accumulator::Auto => {
+                let flops: usize = lhs.row(i).map(|(k, _)| rhs.row_nnz(k)).sum();
+                row_wants_dense(flops, m)
             }
-        }
-        row_buf.sort_unstable_by_key(|&(j, _)| j);
-        let mut it = row_buf.iter().copied();
-        if let Some((mut cur_j, mut cur_v)) = it.next() {
-            for (j, v) in it {
-                if j == cur_j {
-                    cur_v += v;
-                } else {
-                    if cur_v != 0.0 {
-                        indices.push(cur_j);
-                        values.push(cur_v);
+        };
+        if use_dense {
+            if scratch.is_empty() && m > 0 {
+                scratch = vec![0f64; m];
+            }
+            touched.clear();
+            for (k, lv) in lhs.row(i) {
+                for (j, rv) in rhs.row(k) {
+                    if scratch[j] == 0.0 {
+                        touched.push(j);
                     }
-                    cur_j = j;
-                    cur_v = v;
+                    scratch[j] += lv * rv;
                 }
             }
-            if cur_v != 0.0 {
-                indices.push(cur_j);
-                values.push(cur_v);
+            touched.sort_unstable();
+            for &j in &touched {
+                let v = scratch[j];
+                scratch[j] = 0.0;
+                if v != 0.0 {
+                    indices.push(j);
+                    values.push(v);
+                }
+            }
+        } else {
+            row_buf.clear();
+            for (k, lv) in lhs.row(i) {
+                for (j, rv) in rhs.row(k) {
+                    row_buf.push((j, lv * rv));
+                }
+            }
+            row_buf.sort_unstable_by_key(|&(j, _)| j);
+            let mut it = row_buf.iter().copied();
+            if let Some((mut cur_j, mut cur_v)) = it.next() {
+                for (j, v) in it {
+                    if j == cur_j {
+                        cur_v += v;
+                    } else {
+                        if cur_v != 0.0 {
+                            indices.push(cur_j);
+                            values.push(cur_v);
+                        }
+                        cur_j = j;
+                        cur_v = v;
+                    }
+                }
+                if cur_v != 0.0 {
+                    indices.push(cur_j);
+                    values.push(cur_v);
+                }
             }
         }
-        indptr.push(indices.len());
+        row_ends.push(indices.len());
     }
-    CsrMatrix::from_parts_unchecked(n, m, indptr, indices, values)
+    BlockOut {
+        row_ends,
+        indices,
+        values,
+    }
 }
 
 /// Multiplies a chain of matrices left to right: `m[0] * m[1] * … * m[k-1]`.
@@ -149,12 +277,21 @@ fn sort_merge_accumulate(lhs: &CsrMatrix, rhs: &CsrMatrix) -> CsrMatrix {
 /// [`SparseError::DimMismatch`] on any incompatible adjacent pair;
 /// [`SparseError::InvalidStructure`] when `mats` is empty.
 pub fn spgemm_chain(mats: &[&CsrMatrix]) -> Result<CsrMatrix> {
+    spgemm_chain_threaded(mats, Threading::Serial)
+}
+
+/// [`spgemm_chain`] with each product running on the parallel kernel.
+///
+/// # Errors
+/// [`SparseError::DimMismatch`] on any incompatible adjacent pair;
+/// [`SparseError::InvalidStructure`] when `mats` is empty.
+pub fn spgemm_chain_threaded(mats: &[&CsrMatrix], threading: Threading) -> Result<CsrMatrix> {
     let (first, rest) = mats
         .split_first()
         .ok_or_else(|| SparseError::InvalidStructure("empty spgemm chain".into()))?;
     let mut acc = (*first).clone();
     for m in rest {
-        acc = spgemm(&acc, m)?;
+        acc = spgemm_par(&acc, m, threading)?;
     }
     Ok(acc)
 }
@@ -192,6 +329,8 @@ mod tests {
     #[test]
     fn dim_mismatch_rejected() {
         let err = spgemm(&a(), &a()).unwrap_err();
+        assert!(matches!(err, SparseError::DimMismatch { op: "spgemm", .. }));
+        let err = spgemm_par(&a(), &a(), Threading::Threads(4)).unwrap_err();
         assert!(matches!(err, SparseError::DimMismatch { op: "spgemm", .. }));
     }
 
@@ -242,5 +381,78 @@ mod tests {
     fn chain_of_one_clones() {
         let m = a();
         assert_eq!(spgemm_chain(&[&m]).unwrap(), m);
+    }
+
+    #[test]
+    fn threading_resolves_to_at_least_one_worker() {
+        assert_eq!(Threading::Serial.resolve(), 1);
+        assert_eq!(Threading::Threads(0).resolve(), 1);
+        assert_eq!(Threading::Threads(6).resolve(), 6);
+        assert!(Threading::Auto.resolve() >= 1);
+        assert_eq!(Threading::default(), Threading::Serial);
+    }
+
+    #[test]
+    fn parallel_equals_serial_on_small_product() {
+        let serial = spgemm(&a(), &b()).unwrap();
+        for t in [1, 2, 3, 8] {
+            let par = spgemm_par(&a(), &b(), Threading::Threads(t)).unwrap();
+            assert_eq!(par, serial, "threads = {t}");
+        }
+        let auto = spgemm_par(&a(), &b(), Threading::Auto).unwrap();
+        assert_eq!(auto, serial);
+    }
+
+    #[test]
+    fn parallel_handles_more_workers_than_rows() {
+        let l = CsrMatrix::from_dense(1, 2, &[1.0, 2.0]);
+        let r = CsrMatrix::from_dense(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        let p = spgemm_par(&l, &r, Threading::Threads(16)).unwrap();
+        assert_eq!(p, spgemm(&l, &r).unwrap());
+    }
+
+    #[test]
+    fn parallel_handles_empty_rows_between_blocks() {
+        // 5 rows, middle ones empty; 3 workers put block boundaries inside
+        // the empty stretch.
+        let l = CsrMatrix::from_dense(5, 2, &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0]);
+        let r = CsrMatrix::from_dense(2, 3, &[1.0, 2.0, 0.0, 0.0, 1.0, 3.0]);
+        let p = spgemm_par(&l, &r, Threading::Threads(3)).unwrap();
+        assert_eq!(p, spgemm(&l, &r).unwrap());
+    }
+
+    #[test]
+    fn parallel_chain_matches_serial_chain() {
+        let m1 = a();
+        let m2 = b();
+        let m3 = CsrMatrix::from_dense(2, 1, &[1.0, 1.0]);
+        let serial = spgemm_chain(&[&m1, &m2, &m3]).unwrap();
+        let par = spgemm_chain_threaded(&[&m1, &m2, &m3], Threading::Threads(2)).unwrap();
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn auto_picks_per_row_on_skewed_matrices() {
+        // A wide output (> 2^12 cols) with one dense hub row and many
+        // near-empty rows: the whole-matrix heuristic would force one
+        // strategy everywhere; the per-row pick must still be exact.
+        let width = (1 << 12) + 50;
+        let mut hub = vec![0.0; width];
+        for (j, slot) in hub.iter_mut().enumerate() {
+            if j % 2 == 0 {
+                *slot = 1.0;
+            }
+        }
+        let mut rows = hub.clone();
+        let mut sparse_row = vec![0.0; width];
+        sparse_row[17] = 3.0;
+        rows.extend_from_slice(&sparse_row);
+        let l = CsrMatrix::from_dense(2, width, &rows);
+        let r = CsrMatrix::identity(width);
+        let auto = spgemm_with(&l, &r, Accumulator::Auto).unwrap();
+        let dense = spgemm_with(&l, &r, Accumulator::Dense).unwrap();
+        let sm = spgemm_with(&l, &r, Accumulator::SortMerge).unwrap();
+        assert_eq!(auto, dense);
+        assert_eq!(auto, sm);
     }
 }

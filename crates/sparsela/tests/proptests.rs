@@ -2,7 +2,7 @@
 //! reference implementation on randomly generated matrices.
 
 use proptest::prelude::*;
-use sparsela::spgemm::{spgemm_chain, spgemm_with, Accumulator};
+use sparsela::spgemm::{spgemm_chain, spgemm_par, spgemm_with, Accumulator, Threading};
 use sparsela::{spgemm, CholeskyFactor, CooMatrix, CsrMatrix, DenseMatrix, RidgeSolver};
 
 /// Strategy: a random sparse matrix as (nrows, ncols, dense buffer) with
@@ -55,9 +55,23 @@ proptest! {
 
     #[test]
     fn spgemm_accumulators_agree((a, b) in pair_for_product(8)) {
+        // Dense == SortMerge == Auto: the per-row Auto pick must be exactly
+        // the same product as either fixed strategy.
         let d = spgemm_with(&a, &b, Accumulator::Dense).unwrap();
         let s = spgemm_with(&a, &b, Accumulator::SortMerge).unwrap();
-        prop_assert_eq!(d, s);
+        let auto = spgemm_with(&a, &b, Accumulator::Auto).unwrap();
+        prop_assert_eq!(&d, &s);
+        prop_assert_eq!(&d, &auto);
+    }
+
+    #[test]
+    fn spgemm_parallel_is_bit_equal_to_serial(
+        (a, b) in pair_for_product(12),
+        threads in 1usize..=6
+    ) {
+        let serial = spgemm(&a, &b).unwrap();
+        let par = spgemm_par(&a, &b, Threading::Threads(threads)).unwrap();
+        prop_assert_eq!(par, serial);
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn main() {
         train_fraction: 0.2,
         budget: 25,
         seed: 11,
+        threads: 0,
     };
     let alignment = align_all_pairs(&world, &spec);
     println!();

@@ -12,6 +12,7 @@ fn setup() -> (datagen::GeneratedWorld, LinkSet, ExperimentSpec) {
         n_folds: 5,
         rotations: 1,
         seed: 9,
+        threads: 0,
     };
     let ls = LinkSet::build(&world, 5, 5, spec.seed);
     (world, ls, spec)

@@ -12,6 +12,7 @@ fn internal_loop_converges_for_every_np_ratio() {
             n_folds: 5,
             rotations: 1,
             seed: 11,
+            threads: 0,
         };
         let ls = LinkSet::build(&world, theta, 5, spec.seed);
         let run = eval::run_fold(&world, &ls, &spec, Method::IterMpmd, 0);
@@ -39,6 +40,7 @@ fn deltas_are_non_negative_and_first_is_largest_or_equal() {
         n_folds: 5,
         rotations: 1,
         seed: 2,
+        threads: 0,
     };
     let ls = LinkSet::build(&world, 6, 5, spec.seed);
     let run = eval::run_fold(&world, &ls, &spec, Method::IterMpmd, 0);
@@ -60,6 +62,7 @@ fn every_external_round_reconverges() {
         n_folds: 5,
         rotations: 1,
         seed: 8,
+        threads: 0,
     };
     let ls = LinkSet::build(&world, 6, 5, spec.seed);
     let run = eval::run_fold(&world, &ls, &spec, Method::ActiveIter { budget: 20 }, 0);

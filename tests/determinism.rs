@@ -12,6 +12,7 @@ fn whole_experiment_is_deterministic() {
         n_folds: 5,
         rotations: 2,
         seed: 21,
+        threads: 0,
     };
     for method in [
         Method::ActiveIter { budget: 10 },

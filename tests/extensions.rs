@@ -12,6 +12,7 @@ fn multi_network_pipeline_end_to_end() {
         train_fraction: 0.3,
         budget: 10,
         seed: 19,
+        threads: 0,
     };
     let alignment = align_all_pairs(&world, &spec);
     assert!(!alignment.links.is_empty());
@@ -37,6 +38,7 @@ fn ranking_improves_with_more_supervision() {
         n_folds: 5,
         rotations: 1,
         seed: 4,
+        threads: 0,
     };
     let ls = LinkSet::build(&world, 5, 5, 4);
     let lo = eval::run_fold(&world, &ls, &mk_spec(0.3), Method::IterMpmd, 0);

@@ -70,6 +70,7 @@ fn fold_harness_uses_gamma_sampled_anchor_count() {
         n_folds: 5,
         rotations: 1,
         seed: 3,
+        threads: 0,
     };
     let spec_half = ExperimentSpec {
         sample_ratio: 0.5,

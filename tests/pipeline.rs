@@ -20,6 +20,7 @@ fn spec(theta: usize) -> ExperimentSpec {
         n_folds: 10,
         rotations: 2,
         seed: 5,
+        threads: 0,
     }
 }
 

@@ -10,6 +10,9 @@
 //! * [`model::iter_mpmd`] — **Iter-MPMD**: the same PU iterative model with
 //!   a zero query budget (Zhang et al., WSDM'17, extended with meta-diagram
 //!   features);
+//! * [`driver::ActiveLoop`] — the resumable round driver `fit` wraps:
+//!   external callers (the session API) can take over between query rounds,
+//!   refresh features after anchor updates, and keep the loop state;
 //! * [`query`] — query strategies: the paper's conflict-based
 //!   false-negative selector, the random selector (**ActiveIter-Rand**),
 //!   and two ablation strategies (uncertainty, top-score);
@@ -23,16 +26,17 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod driver;
 pub mod greedy;
 pub mod instance;
 pub mod model;
 pub mod oracle;
 pub mod query;
-pub mod ridge;
 pub mod svm;
 pub mod unsupervised;
 
 pub use config::ModelConfig;
+pub use driver::ActiveLoop;
 pub use instance::AlignmentInstance;
 pub use model::{ActiveIterModel, FitReport};
 pub use oracle::{Oracle, VecOracle};

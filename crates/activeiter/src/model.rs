@@ -14,14 +14,12 @@
 //! Per-round Δy traces feed Figure 3 (convergence); wall-clock totals feed
 //! Figure 4 (scalability). Iter-MPMD is the zero-budget special case.
 
-use crate::config::{AcceptRule, ModelConfig};
-use crate::greedy::greedy_select;
+use crate::config::ModelConfig;
+use crate::driver::ActiveLoop;
 use crate::instance::AlignmentInstance;
 use crate::oracle::Oracle;
-use crate::query::{ConflictQuery, QueryContext, QueryStrategy, RandomQuery};
-use crate::ridge::BoundRidge;
-use sparsela::dense::l1_distance;
-use std::time::{Duration, Instant};
+use crate::query::{ConflictQuery, QueryStrategy, RandomQuery};
+use std::time::Duration;
 
 /// Inner-loop convergence trace of one external round.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,143 +110,40 @@ impl ActiveIterModel {
 
     /// Runs the full alternating optimization against `oracle`.
     ///
+    /// This is a thin wrapper over [`ActiveLoop`] (the resumable round
+    /// driver): converge, select queries, apply the oracle's answers,
+    /// repeat until the budget is spent or the candidate set runs dry. The
+    /// stepwise drive is bit-identical to what this one-shot call produces
+    /// — callers that need to interleave work between rounds (e.g. the
+    /// session API refreshing features after anchor updates) use the
+    /// driver directly.
+    ///
     /// # Panics
     /// Panics on an empty instance — harness error.
     pub fn fit(&mut self, inst: &AlignmentInstance, oracle: &dyn Oracle) -> FitReport {
         assert!(!inst.is_empty(), "cannot fit an empty instance");
-        let start = Instant::now();
-        let ridge = BoundRidge::new(inst, self.config.c);
-        let n = inst.len();
-
-        let mut y = vec![0.0; n];
-        let mut fixed_pos = inst.labeled_pos.clone();
-        let mut fixed_neg: Vec<usize> = Vec::new();
-        let mut queryable = vec![true; n];
-        for &i in &inst.labeled_pos {
-            y[i] = 1.0;
-            queryable[i] = false;
-        }
-
-        let mut remaining = self.config.budget;
-        let mut queried: Vec<(usize, bool)> = Vec::new();
-        let mut rounds: Vec<RoundTrace> = Vec::new();
-        let mut scores = vec![0.0; n];
-        let mut weights = vec![0.0; inst.dim()];
-        let mut threshold = 0.5;
-        let mut positive_scale = 1.0;
-
+        // Borrowed: the one-shot path never refreshes features, so the
+        // instance (and its dense X) is never copied.
+        let mut drv = ActiveLoop::borrowed(inst, self.config.clone());
         loop {
             // Internal loop: (1-1) then (1-2) until the labels stabilize.
-            let mut deltas = Vec::new();
-            for _ in 0..self.config.max_inner_iters {
-                weights = ridge.weights(&y);
-                scores = ridge.scores(&weights);
-                // Calibrate the threshold and scale on the fixed positives'
-                // *as-if-unlabeled* scores `ŷᵢ − Sᵢᵢ`: a fixed positive's
-                // raw fitted score is inflated by its own supervision, and
-                // the inflation grows with the training set — calibrating
-                // on raw fitted scores would therefore *hurt* recall as γ
-                // grows. Greedy-accepted candidates, in contrast, keep
-                // their raw scores on purpose: self-reinforcement of
-                // accepted labels is the self-training mechanism of the
-                // paper's iterative PU model, while the fixed positives'
-                // supervision comes from outside the loop and must only
-                // set the score scale, not ride its own feedback.
-                //
-                // With very few positives the corrected mean can degenerate
-                // to ≤ 0 (a lone positive's first-iteration score is exactly
-                // its own leverage). Fall back to the raw positive mean
-                // then: still a positive, data-derived scale, rather than an
-                // ε-threshold (which floods acceptance) or a fixed 0.5
-                // (which is far above real score scales and zeroes recall).
-                let pos_mean =
-                    calibration_mean(fixed_pos.iter().map(|&i| scores[i] - ridge.leverage(i)))
-                        .or_else(|| calibration_mean(fixed_pos.iter().map(|&i| scores[i])));
-                threshold = effective_threshold(self.config.accept_rule, pos_mean);
-                positive_scale = pos_mean.unwrap_or(1.0);
-                let sel =
-                    greedy_select(&scores, &inst.candidates, &fixed_pos, &fixed_neg, threshold);
-                let delta = l1_distance(&sel.labels, &y);
-                y = sel.labels;
-                deltas.push(delta);
-                if delta == 0.0 {
-                    break;
-                }
-            }
-            rounds.push(RoundTrace { deltas });
+            drv.converge();
 
             // External step (2): query, unless the budget is spent.
-            if remaining == 0 {
+            if drv.remaining() == 0 {
                 break;
             }
-            let batch = self.config.query_batch.min(remaining);
-            let ctx = QueryContext {
-                scores: &scores,
-                labels: &y,
-                candidates: &inst.candidates,
-                queryable: &queryable,
-                threshold,
-                positive_scale,
-                batch,
-            };
-            let selection = self.strategy.select(&ctx);
+            let selection = drv.select_queries(self.strategy.as_mut());
             if selection.is_empty() {
                 // No qualifying candidates: unused budget is surrendered, as
                 // in the paper (the candidate set C can run dry).
                 break;
             }
             for idx in selection {
-                let answer = oracle.label(idx);
-                queried.push((idx, answer));
-                queryable[idx] = false;
-                remaining -= 1;
-                if answer {
-                    fixed_pos.push(idx);
-                    y[idx] = 1.0;
-                } else {
-                    fixed_neg.push(idx);
-                    y[idx] = 0.0;
-                }
+                drv.apply_answer(idx, oracle.label(idx));
             }
         }
-
-        FitReport {
-            labels: y,
-            scores,
-            weights,
-            queried,
-            rounds,
-            elapsed: start.elapsed(),
-        }
-    }
-}
-
-/// Mean of the known positives' leverage-corrected scores, for calibrating
-/// the acceptance threshold and the query strategies' score scale.
-///
-/// `None` when the mean carries no usable scale information: no positive is
-/// known yet, or the corrected mean is zero/negative (reachable — e.g. a
-/// single labeled positive's first-iteration score is exactly its own
-/// leverage, correcting to 0; a negative scale would silently invert the
-/// query strategies' constants). Callers fall back to the same defaults as
-/// the no-positives case.
-fn calibration_mean(pos_scores: impl Iterator<Item = f64>) -> Option<f64> {
-    let (sum, n) = pos_scores.fold((0.0, 0usize), |(s, n), v| (s + v, n + 1));
-    (n > 0)
-        .then(|| sum / n as f64)
-        .filter(|&m| m > f64::EPSILON)
-}
-
-/// The acceptance threshold in effect for the current scores (see
-/// [`AcceptRule`]): fixed, or α × the calibration mean with a `0.5`
-/// fallback when no usable mean exists.
-fn effective_threshold(rule: AcceptRule, pos_mean: Option<f64>) -> f64 {
-    match rule {
-        AcceptRule::Fixed(t) => t,
-        AcceptRule::Relative { alpha } => match pos_mean {
-            Some(mean) => (alpha * mean).max(f64::EPSILON),
-            None => 0.5,
-        },
+        drv.finish()
     }
 }
 

@@ -1,0 +1,91 @@
+//! Per-round recount cost of the session-driven active loop: the sparse
+//! low-rank delta path (`C += L·ΔA·R`) against a full recount of the
+//! anchor-dependent chains, at several confirmed-batch sizes and scales.
+//!
+//! The acceptance bar of the session redesign: per-round wall-clock of the
+//! delta path no worse than the full-recount path at any batch size, with
+//! bit-identical results (asserted here on every iteration's setup).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetnet::AnchorLink;
+use session::SessionBuilder;
+
+struct Scenario {
+    world: datagen::GeneratedWorld,
+    train: Vec<AnchorLink>,
+    held_out: Vec<AnchorLink>,
+    candidates: Vec<(hetnet::UserId, hetnet::UserId)>,
+}
+
+fn scenario(cfg: &datagen::GeneratorConfig) -> Scenario {
+    let world = datagen::generate(cfg);
+    let links = world.truth().links().to_vec();
+    let split = links.len() / 3;
+    let candidates = links.iter().map(|l| (l.left, l.right)).collect();
+    Scenario {
+        train: links[..split].to_vec(),
+        held_out: links[split..].to_vec(),
+        world,
+        candidates,
+    }
+}
+
+/// One featurized session per scenario; measurements clone it per
+/// iteration (sessions are value-like), so building is part of setup and
+/// the clone overhead is identical in both arms.
+fn open(s: &Scenario) -> session::AlignmentSession<session::Featurized> {
+    SessionBuilder::new(s.world.left(), s.world.right())
+        .anchors(s.train.clone())
+        .count()
+        .expect("generated networks share attribute universes")
+        .featurize(s.candidates.clone())
+}
+
+fn bench_round_recount(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_round_recount");
+    group.sample_size(10);
+    for (scale, cfg) in [
+        ("small", datagen::presets::small(5)),
+        ("table4", datagen::presets::paper_scale(200, 5)),
+    ] {
+        let s = scenario(&cfg);
+        // One-time equality check: a delta round and a full round produce
+        // bit-identical features.
+        {
+            let mut delta = open(&s);
+            let mut full = open(&s);
+            let batch = &s.held_out[..5.min(s.held_out.len())];
+            delta.update_anchors(batch).unwrap();
+            full.recount_anchors(batch).unwrap();
+            assert_eq!(delta.features().x.data(), full.features().x.data());
+        }
+        let base = open(&s);
+        for batch_size in [1usize, 5, 20] {
+            let batch: Vec<AnchorLink> = s.held_out[..batch_size.min(s.held_out.len())].to_vec();
+            group.bench_with_input(
+                BenchmarkId::new(format!("delta/b{batch_size}"), scale),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        let mut session = base.clone();
+                        session.update_anchors(&batch).unwrap()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("full/b{batch_size}"), scale),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        let mut session = base.clone();
+                        session.recount_anchors(&batch).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_recount);
+criterion_main!(benches);

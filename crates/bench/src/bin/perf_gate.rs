@@ -1,0 +1,214 @@
+//! CI perf-regression gate: diffs fresh `BENCH_*.json` wall-clock records
+//! against the previous run's records and fails on regressions beyond a
+//! noise threshold.
+//!
+//! ```sh
+//! perf_gate --baseline bench-baseline --fresh . [--tolerance 0.5] [--slack-ms 15]
+//! ```
+//!
+//! A cell regresses when its fresh wall-clock exceeds the baseline by more
+//! than `tolerance` (relative) **and** by more than `slack-ms` (absolute —
+//! sub-millisecond cells on shared CI runners are pure noise). Cells
+//! missing from the baseline (new benches, renamed methods) are reported
+//! but never fail the gate; F1 drift is reported as context. Exit code 1
+//! when any cell regresses.
+//!
+//! The records are the flat documents written by [`bench::BenchRecorder`];
+//! the vendored serde stand-in has no deserializer, so the fields are
+//! pulled out by a small line scanner matched to that writer.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct Cell {
+    f1_mean: Option<f64>,
+    wall_ms: f64,
+}
+
+/// (bench, method, cell) → measurement.
+type Records = BTreeMap<(String, String, String), Cell>;
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest: String = line[start..]
+        .chars()
+        .take_while(|c| !matches!(c, ',' | '}' | '\n'))
+        .collect();
+    rest.trim().parse().ok()
+}
+
+fn parse_record(path: &Path, into: &mut Records) -> std::io::Result<()> {
+    let body = std::fs::read_to_string(path)?;
+    let mut bench = String::new();
+    for line in body.lines() {
+        if bench.is_empty() {
+            if let Some(b) = str_field(line, "bench") {
+                bench = b;
+            }
+        }
+        let (Some(method), Some(cell)) = (str_field(line, "method"), str_field(line, "cell"))
+        else {
+            continue;
+        };
+        let Some(wall_ms) = num_field(line, "wall_ms") else {
+            continue;
+        };
+        into.insert(
+            (bench.clone(), method, cell),
+            Cell {
+                f1_mean: num_field(line, "f1_mean"),
+                wall_ms,
+            },
+        );
+    }
+    Ok(())
+}
+
+fn load_dir(dir: &Path) -> std::io::Result<Records> {
+    let mut records = Records::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            parse_record(&path, &mut records)?;
+        }
+    }
+    Ok(records)
+}
+
+struct Opts {
+    baseline: PathBuf,
+    fresh: PathBuf,
+    tolerance: f64,
+    slack_ms: f64,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut tolerance = 0.5f64;
+    let mut slack_ms = 15.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--fresh" => fresh = Some(PathBuf::from(value("--fresh")?)),
+            "--tolerance" => {
+                tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
+            "--slack-ms" => {
+                slack_ms = value("--slack-ms")?
+                    .parse()
+                    .map_err(|e| format!("--slack-ms: {e}"))?
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(Opts {
+        baseline: baseline.ok_or("--baseline <dir> is required")?,
+        fresh: fresh.ok_or("--fresh <dir> is required")?,
+        tolerance,
+        slack_ms,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match load_dir(&opts.baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "perf_gate: cannot read baseline {}: {e}",
+                opts.baseline.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let fresh = match load_dir(&opts.fresh) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf_gate: cannot read fresh {}: {e}", opts.fresh.display());
+            return ExitCode::from(2);
+        }
+    };
+    if baseline.is_empty() {
+        println!("perf_gate: baseline is empty — nothing to gate against (first run?)");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for (key, fresh_cell) in &fresh {
+        let Some(base_cell) = baseline.get(key) else {
+            println!(
+                "  new cell (no baseline): {}/{}/{} at {:.1} ms",
+                key.0, key.1, key.2, fresh_cell.wall_ms
+            );
+            continue;
+        };
+        compared += 1;
+        let (b, f) = (base_cell.wall_ms, fresh_cell.wall_ms);
+        let regressed = f > b * (1.0 + opts.tolerance) && f > b + opts.slack_ms;
+        let marker = if regressed { "REGRESSION" } else { "ok" };
+        if regressed || f > b * (1.0 + opts.tolerance / 2.0) {
+            println!(
+                "  {marker}: {}/{}/{}  {:.1} ms -> {:.1} ms ({:+.0}%)",
+                key.0,
+                key.1,
+                key.2,
+                b,
+                f,
+                (f / b - 1.0) * 100.0
+            );
+        }
+        if let (Some(bf1), Some(ff1)) = (base_cell.f1_mean, fresh_cell.f1_mean) {
+            if (bf1 - ff1).abs() > 1e-9 {
+                println!(
+                    "  note: F1 drift on {}/{}/{}: {bf1} -> {ff1}",
+                    key.0, key.1, key.2
+                );
+            }
+        }
+        if regressed {
+            regressions.push(key.clone());
+        }
+    }
+    for key in baseline.keys() {
+        if !fresh.contains_key(key) {
+            println!("  cell vanished: {}/{}/{}", key.0, key.1, key.2);
+        }
+    }
+    println!(
+        "perf_gate: compared {compared} cells (tolerance {:.0}% + {:.0} ms slack): {} regression(s)",
+        opts.tolerance * 100.0,
+        opts.slack_ms,
+        regressions.len()
+    );
+    if regressions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

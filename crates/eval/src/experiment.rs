@@ -5,14 +5,15 @@ use crate::metrics::{summarize, Confusion, MetricSummary, Metrics};
 use crate::ranking::{ranking_report, RankingReport};
 use crate::sampling::LinkSet;
 use activeiter::instance::with_bias;
-use activeiter::model::{iter_mpmd, ActiveIterModel, FitReport};
+use activeiter::model::FitReport;
 use activeiter::query::{ConflictQuery, RandomQuery, TopScoreQuery, UncertaintyQuery};
 use activeiter::svm::{SvmConfig, SvmModel};
-use activeiter::{AlignmentInstance, ModelConfig, QueryStrategy, VecOracle};
+use activeiter::{ModelConfig, QueryStrategy, VecOracle};
 use datagen::GeneratedWorld;
 use hetnet::AnchorLink;
-use metadiagram::{extract_features_par, Catalog, CountEngine, Threading};
+use metadiagram::Threading;
 use serde::{Deserialize, Serialize};
+use session::SessionBuilder;
 use sparsela::DenseMatrix;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -175,6 +176,12 @@ fn gather_rows(x: &DenseMatrix, rows: &[usize]) -> DenseMatrix {
 
 /// Runs `method` on one fold rotation of `ls` and scores it on the test set
 /// (queried links excluded, per §IV-B.3).
+///
+/// This is a thin wrapper over the session API
+/// ([`session::SessionBuilder`] → count → featurize → fit); results are
+/// bit-identical to the pre-session implementation. Callers that drive the
+/// active loop with per-round anchor feedback should use
+/// `session::AlignmentSession::run_active` directly.
 pub fn run_fold(
     world: &GeneratedWorld,
     ls: &LinkSet,
@@ -205,37 +212,38 @@ fn run_fold_threaded(
 ) -> FoldRun {
     let (train_pos, train_neg) = ls.train_indices(fold, spec.sample_ratio, spec.seed);
 
-    // Features: the anchor matrix sees only the γ-sampled training
-    // positives; anything more would leak test labels into P1–P4.
+    // Features through the session API: the anchor set sees only the
+    // γ-sampled training positives; anything more would leak test labels
+    // into P1–P4. One full catalog count + featurization per fold, exactly
+    // as the pre-session implementation (bit-identical features).
     let train_anchors: Vec<AnchorLink> = train_pos
         .iter()
         .map(|&i| AnchorLink::new(ls.candidates[i].0, ls.candidates[i].1))
         .collect();
-    let amat = world
-        .pair
-        .anchor_matrix_from(&train_anchors)
-        .expect("candidates come from the same universe");
-    let engine = CountEngine::new(world.left(), world.right(), amat)
-        .expect("generated networks share attribute universes");
-    let catalog = Catalog::new(method.feature_set());
-    let fm = extract_features_par(
-        &engine,
-        &catalog,
-        &ls.candidates,
-        Threading::Threads(extract_threads),
-    );
+    let session = SessionBuilder::new(world.left(), world.right())
+        .anchors(train_anchors)
+        .feature_set(method.feature_set())
+        .threading(Threading::Threads(extract_threads))
+        .count()
+        .expect("generated networks share attribute universes")
+        .featurize(ls.candidates.clone());
 
     let test = ls.test_indices(fold);
     let start = std::time::Instant::now();
 
     let (predictions, link_scores, report): (Vec<bool>, Vec<f64>, Option<FitReport>) =
         if method == Method::Unsupervised {
-            let result = activeiter::unsupervised::unsupervised_align(&ls.candidates, &fm.x, 0.0);
+            let result = activeiter::unsupervised::unsupervised_align(
+                &ls.candidates,
+                &session.features().x,
+                0.0,
+            );
             let preds = result.labels.iter().map(|&l| l == 1.0).collect();
             (preds, result.scores, None)
         } else if method.is_svm() {
+            let x = &session.features().x;
             let train_idx: Vec<usize> = train_pos.iter().chain(train_neg.iter()).copied().collect();
-            let x_train = with_bias(&gather_rows(&fm.x, &train_idx));
+            let x_train = with_bias(&gather_rows(x, &train_idx));
             let y_train: Vec<bool> = train_idx.iter().map(|&i| ls.truth[i]).collect();
             let svm = SvmModel::train(
                 &x_train,
@@ -245,35 +253,32 @@ fn run_fold_threaded(
                     ..Default::default()
                 },
             );
-            let decisions = svm.decision(&with_bias(&fm.x));
+            let decisions = svm.decision(&with_bias(x));
             let preds = decisions.iter().map(|&v| v > 0.0).collect();
             (preds, decisions, None)
         } else {
-            let inst = AlignmentInstance::new(ls.candidates.clone(), &fm.x, train_pos.clone());
             let oracle = VecOracle::new(ls.truth.clone());
             let config = ModelConfig {
                 budget: method.budget(),
                 seed: spec.seed ^ (fold as u64) << 8,
                 ..Default::default()
             };
-            let report = match method {
-                Method::IterMpmd | Method::IterMpmdFeatures { .. } => iter_mpmd(&inst, &config),
-                Method::ActiveIter { .. } => {
-                    let strat = strategy_for(StrategyKind::Conflict, &config);
-                    ActiveIterModel::new(config, strat).fit(&inst, &oracle)
+            // Iter-MPMD is the zero-budget special case: the strategy is
+            // never consulted, matching the old `iter_mpmd` shortcut.
+            let kind = match method {
+                Method::IterMpmd | Method::IterMpmdFeatures { .. } | Method::ActiveIter { .. } => {
+                    StrategyKind::Conflict
                 }
-                Method::ActiveIterRand { .. } => {
-                    let strat = strategy_for(StrategyKind::Random, &config);
-                    ActiveIterModel::new(config, strat).fit(&inst, &oracle)
-                }
-                Method::ActiveIterWith { strategy, .. } => {
-                    let strat = strategy_for(strategy, &config);
-                    ActiveIterModel::new(config, strat).fit(&inst, &oracle)
-                }
+                Method::ActiveIterRand { .. } => StrategyKind::Random,
+                Method::ActiveIterWith { strategy, .. } => strategy,
                 Method::SvmMpmd | Method::SvmMp | Method::Unsupervised => {
                     unreachable!("handled in the dedicated branches")
                 }
             };
+            let mut strat = strategy_for(kind, &config);
+            let report = session
+                .fit(train_pos.clone(), &oracle, &config, strat.as_mut())
+                .into_report();
             let preds = report.labels.iter().map(|&l| l == 1.0).collect();
             let scores = report.scores.clone();
             (preds, scores, Some(report))

@@ -12,17 +12,18 @@
 use crate::experiment::effective_threads;
 use crate::ranking::cmp_scores_desc;
 use crate::sampling::LinkSet;
-use activeiter::model::ActiveIterModel;
 use activeiter::query::ConflictQuery;
-use activeiter::{AlignmentInstance, ModelConfig, VecOracle};
+use activeiter::{ModelConfig, VecOracle};
 use datagen::MultiWorld;
-use hetnet::aligned::anchor_matrix;
 use hetnet::UserId;
-use metadiagram::{extract_features_par, Catalog, CountEngine, Threading};
+use metadiagram::Threading;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::{HashMap, HashSet};
+use session::SessionBuilder;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// One predicted pairwise alignment link with its model score.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,73 +87,244 @@ impl Default for MultiSpec {
     }
 }
 
+/// One network pair's predictions, as streamed by
+/// [`for_each_pair_alignment`].
+#[derive(Debug, Clone)]
+pub struct PairAlignment {
+    /// The network pair (a < b).
+    pub nets: (usize, usize),
+    /// Predicted-positive links with scores, in candidate order.
+    pub links: Vec<PairwiseLink>,
+}
+
+/// A counting semaphore bounding how many claimed-but-not-yet-emitted
+/// pairs may exist at once — the backpressure that keeps
+/// [`for_each_pair_alignment`]'s reorder buffer at O(workers) even when
+/// one pair straggles far behind the rest.
+struct ClaimWindow {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl ClaimWindow {
+    fn new(permits: usize) -> Self {
+        ClaimWindow {
+            permits: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks for a permit. The returned guard releases it on drop —
+    /// including during unwinding, so a panicking worker can never strand
+    /// its siblings in `acquire` (the consumer would stop releasing, the
+    /// scope would block joining, and the panic would be masked by a
+    /// hang). Call [`Permit::transfer`] once responsibility for the
+    /// release moves to the consumer.
+    fn acquire(&self) -> Permit<'_> {
+        let mut n = self
+            .permits
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *n == 0 {
+            n = self
+                .cv
+                .wait(n)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        *n -= 1;
+        Permit {
+            window: self,
+            armed: true,
+        }
+    }
+
+    fn release(&self) {
+        *self
+            .permits
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+        self.cv.notify_all();
+    }
+}
+
+/// RAII claim-window permit (see [`ClaimWindow::acquire`]).
+struct Permit<'a> {
+    window: &'a ClaimWindow,
+    armed: bool,
+}
+
+impl Permit<'_> {
+    /// Hands the release duty to whoever now owns the claimed slot (the
+    /// consumer releases after emitting the pair).
+    fn transfer(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.window.release();
+        }
+    }
+}
+
+/// Runs the pairwise pipeline on every pair of the collection, **streaming**
+/// each pair's link set to `sink` in pair order instead of materializing the
+/// whole collection — with k networks the k·(k−1)/2 pairwise link sets never
+/// coexist in memory: at most `2 × workers` claimed-but-unemitted pairs
+/// exist at any moment (a claim window throttles the workers, so a
+/// straggling early pair cannot make the reorder buffer grow to k²).
+///
+/// The pairs are fully independent, so they are **sharded across the
+/// bounded worker pool** (`spec.threads`, 0 = auto): each worker claims the
+/// next unprocessed pair, runs the session pipeline (count → featurize →
+/// fit), and sends the result to the reordering consumer. Whatever budget
+/// the pair layer leaves unused flows into each pair's feature extraction.
+/// Results are bit-identical at any thread budget.
+pub fn for_each_pair_alignment(
+    world: &MultiWorld,
+    spec: &MultiSpec,
+    mut sink: impl FnMut(PairAlignment),
+) {
+    let pairs = world.pairs();
+    if pairs.is_empty() {
+        return;
+    }
+    let budget = effective_threads(spec.threads);
+    let pair_workers = budget.min(pairs.len()).max(1);
+    let extract_threads = (budget / pair_workers).max(1);
+    if pair_workers <= 1 {
+        for &(a, b) in &pairs {
+            sink(align_pair(world, a, b, spec, extract_threads));
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let window = ClaimWindow::new(pair_workers * 2);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, PairAlignment)>();
+    std::thread::scope(|scope| {
+        for _ in 0..pair_workers {
+            let tx = tx.clone();
+            let next = &next;
+            let pairs = &pairs;
+            let window = &window;
+            scope.spawn(move || loop {
+                // One permit per claimed pair, held until the consumer
+                // emits it. The permit guard releases on every other exit
+                // path — pairs exhausted, receiver gone, or a panic inside
+                // align_pair — so blocked siblings always wake up.
+                let permit = window.acquire();
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= pairs.len() {
+                    break;
+                }
+                let (a, b) = pairs[i];
+                let alignment = align_pair(world, a, b, spec, extract_threads);
+                if tx.send((i, alignment)).is_err() {
+                    break;
+                }
+                permit.transfer();
+            });
+        }
+        drop(tx);
+        // Re-emit in pair order; each emit returns a permit, so `pending`
+        // never holds more than the claim window.
+        let mut pending: BTreeMap<usize, PairAlignment> = BTreeMap::new();
+        let mut next_emit = 0usize;
+        for (i, alignment) in rx {
+            pending.insert(i, alignment);
+            while let Some(ready) = pending.remove(&next_emit) {
+                sink(ready);
+                next_emit += 1;
+                window.release();
+            }
+        }
+    });
+}
+
 /// Runs the pairwise pipeline on every pair of the collection.
 ///
 /// For each pair, `train_fraction` of the ground-truth anchors (sampled by
 /// seed) become the labeled set; candidates are built as in the two-network
 /// protocol; ActiveIter predicts the rest. Predicted-positive links are
 /// collected with their scores.
+///
+/// This collects everything [`for_each_pair_alignment`] streams — callers
+/// aligning large collections should prefer the streaming form.
 pub fn align_all_pairs(world: &MultiWorld, spec: &MultiSpec) -> MultiAlignment {
     let mut links = Vec::new();
-    for (a, b) in world.pairs() {
-        let truth = world.truth_between(a, b);
-        let left = &world.nets[a];
-        let right = &world.nets[b];
-
-        // Sample training anchors.
-        let mut rng = StdRng::seed_from_u64(spec.seed ^ ((a as u64) << 32 | b as u64));
-        let mut anchor_pool: Vec<hetnet::AnchorLink> = truth.links().to_vec();
-        anchor_pool.shuffle(&mut rng);
-        let n_train = ((anchor_pool.len() as f64) * spec.train_fraction).ceil() as usize;
-        let train = &anchor_pool[..n_train.max(1)];
-
-        // Candidate set: all anchors + sampled negatives (reuse the pairwise
-        // LinkSet machinery through a lightweight shim world).
-        let ls = pairwise_linkset(world, a, b, spec);
-
-        let amat = anchor_matrix(left.n_users(), right.n_users(), train)
-            .expect("multi-world indices are in range");
-        let engine = CountEngine::new(left, right, amat)
-            .expect("multi-world networks share attribute universes");
-        let catalog = Catalog::new(metadiagram::FeatureSet::Full);
-        let fm = extract_features_par(
-            &engine,
-            &catalog,
-            &ls.candidates,
-            Threading::Threads(effective_threads(spec.threads)),
-        );
-
-        let train_set: HashSet<(u32, u32)> = train.iter().map(|l| (l.left.0, l.right.0)).collect();
-        let labeled_pos: Vec<usize> = ls
-            .candidates
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| train_set.contains(&(c.0 .0, c.1 .0)))
-            .map(|(i, _)| i)
-            .collect();
-        let inst = AlignmentInstance::new(ls.candidates.clone(), &fm.x, labeled_pos);
-        let oracle = VecOracle::new(ls.truth.clone());
-        let config = ModelConfig {
-            budget: spec.budget,
-            seed: spec.seed,
-            ..Default::default()
-        };
-        let strategy = ConflictQuery::new(config.similar_tau, config.margin_delta);
-        let report = ActiveIterModel::new(config, Box::new(strategy)).fit(&inst, &oracle);
-
-        for (i, &label) in report.labels.iter().enumerate() {
-            if label == 1.0 {
-                links.push(PairwiseLink {
-                    nets: (a, b),
-                    left: ls.candidates[i].0,
-                    right: ls.candidates[i].1,
-                    score: report.scores[i],
-                    correct: ls.truth[i],
-                });
-            }
-        }
-    }
+    for_each_pair_alignment(world, spec, |pair| links.extend(pair.links));
     MultiAlignment { links }
+}
+
+/// The per-pair pipeline: sample training anchors, build the candidate
+/// set, run one alignment session, collect predicted-positive links.
+fn align_pair(
+    world: &MultiWorld,
+    a: usize,
+    b: usize,
+    spec: &MultiSpec,
+    extract_threads: usize,
+) -> PairAlignment {
+    let truth = world.truth_between(a, b);
+    let left = &world.nets[a];
+    let right = &world.nets[b];
+
+    // Sample training anchors.
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ ((a as u64) << 32 | b as u64));
+    let mut anchor_pool: Vec<hetnet::AnchorLink> = truth.links().to_vec();
+    anchor_pool.shuffle(&mut rng);
+    let n_train = ((anchor_pool.len() as f64) * spec.train_fraction).ceil() as usize;
+    let train = &anchor_pool[..n_train.max(1)];
+
+    // Candidate set: all anchors + sampled negatives (reuse the pairwise
+    // LinkSet machinery through a lightweight shim world).
+    let ls = pairwise_linkset(world, a, b, spec);
+
+    let session = SessionBuilder::new(left, right)
+        .anchors(train.to_vec())
+        .threading(Threading::Threads(extract_threads))
+        .count()
+        .expect("multi-world networks share attribute universes")
+        .featurize(ls.candidates.clone());
+
+    let train_set: HashSet<(u32, u32)> = train.iter().map(|l| (l.left.0, l.right.0)).collect();
+    let labeled_pos: Vec<usize> = ls
+        .candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| train_set.contains(&(c.0 .0, c.1 .0)))
+        .map(|(i, _)| i)
+        .collect();
+    let oracle = VecOracle::new(ls.truth.clone());
+    let config = ModelConfig {
+        budget: spec.budget,
+        seed: spec.seed,
+        ..Default::default()
+    };
+    let mut strategy = ConflictQuery::new(config.similar_tau, config.margin_delta);
+    let report = session
+        .fit(labeled_pos, &oracle, &config, &mut strategy)
+        .into_report();
+
+    let links = report
+        .labels
+        .iter()
+        .enumerate()
+        .filter(|&(_, &label)| label == 1.0)
+        .map(|(i, _)| PairwiseLink {
+            nets: (a, b),
+            left: ls.candidates[i].0,
+            right: ls.candidates[i].1,
+            score: report.scores[i],
+            correct: ls.truth[i],
+        })
+        .collect();
+    PairAlignment {
+        nets: (a, b),
+        links,
+    }
 }
 
 /// Builds the candidate link set for one pair of the collection.
@@ -320,6 +492,45 @@ mod tests {
         let world = datagen::generate_multi(&presets::tiny(7), 3);
         let alignment = align_all_pairs(&world, &spec());
         (world, alignment)
+    }
+
+    #[test]
+    fn streaming_emits_pairs_in_order_and_matches_the_collector() {
+        let world = datagen::generate_multi(&presets::tiny(7), 3);
+        let collected = align_all_pairs(&world, &spec());
+        let mut streamed: Vec<PairAlignment> = Vec::new();
+        for_each_pair_alignment(&world, &spec(), |pa| streamed.push(pa));
+        // Pairs arrive in world.pairs() order despite sharded execution.
+        let order: Vec<(usize, usize)> = streamed.iter().map(|p| p.nets).collect();
+        assert_eq!(order, world.pairs());
+        let flat: Vec<PairwiseLink> = streamed.into_iter().flat_map(|p| p.links).collect();
+        assert_eq!(flat.len(), collected.links.len());
+        for (a, b) in flat.iter().zip(collected.links.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn sharded_execution_is_identical_across_thread_budgets() {
+        let world = datagen::generate_multi(&presets::tiny(9), 3);
+        let serial = align_all_pairs(
+            &world,
+            &MultiSpec {
+                threads: 1,
+                ..spec()
+            },
+        );
+        let auto = align_all_pairs(
+            &world,
+            &MultiSpec {
+                threads: 0,
+                ..spec()
+            },
+        );
+        assert_eq!(serial.links.len(), auto.links.len());
+        for (a, b) in serial.links.iter().zip(auto.links.iter()) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -1,0 +1,603 @@
+//! Incremental catalog recounting under anchor updates (the `L·ΔA·R` path).
+//!
+//! Every Iter-MPMD/ActiveIter round confirms a handful of anchor links and
+//! re-derives the meta-diagram counts from the grown anchor matrix. A full
+//! recount pays the whole SpGEMM catalog again; this module exploits the
+//! structure [`CountEngine::anchor_chain_factors`] exposes instead:
+//!
+//! * **social paths / social middle-stackings** count as `C = L·A·R` with
+//!   anchor-independent factors, so `C(A+ΔA) = C(A) + L·ΔA·R` — a sparse
+//!   low-rank update ([`sparsela::spgemm_lowrank`]) whose cost scales with
+//!   `|ΔA|`, not with the catalog;
+//! * **attribute paths / attribute middle-stackings** never touch `A` and
+//!   are carried over untouched;
+//! * **endpoint stackings** are Hadamard products of already-updated
+//!   factors — an `O(nnz)` re-combination, no SpGEMM.
+//!
+//! All arithmetic is exact (counts are small nonnegative integers stored in
+//! `f64`), so the delta path is **bit-equal** to a full recount from the
+//! merged anchor set — property-tested in `tests/delta_props.rs`.
+
+use crate::catalog::Catalog;
+use crate::count::{CountEngine, EngineError};
+use crate::covering::plan_levels;
+use crate::diagram::Diagram;
+use hetnet::{AnchorLink, HetNet};
+use sparsela::{spgemm_lowrank, spgemm_threaded, Accumulator, CooMatrix, CsrMatrix, Threading};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Errors raised when applying an anchor update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// An anchor endpoint exceeds its user population.
+    AnchorOutOfRange {
+        /// `"left"` or `"right"`.
+        side: &'static str,
+        /// The offending user index.
+        index: usize,
+        /// The population size.
+        count: usize,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::AnchorOutOfRange { side, index, count } => {
+                write!(f, "{side} anchor endpoint {index} out of range (< {count})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Work counters of a [`DeltaCatalogCounts`] store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Full catalog counts performed (1 at build, +1 per
+    /// [`DeltaCatalogCounts::recount_anchors`]).
+    pub full_counts: usize,
+    /// Applied incremental updates ([`DeltaCatalogCounts::update_anchors`]
+    /// calls that had at least one genuinely new anchor).
+    pub delta_updates: usize,
+    /// Total new anchors merged since the build.
+    pub anchors_applied: usize,
+}
+
+/// What an anchor update changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaOutcome {
+    /// Genuinely new anchors merged (duplicates and already-present links
+    /// are skipped silently).
+    pub applied: usize,
+    /// Catalog positions whose count matrices changed, in catalog order.
+    /// Anchor-free features (attribute paths and their middle-stackings)
+    /// never appear here — downstream layers can skip re-deriving them.
+    pub changed: Vec<usize>,
+}
+
+/// The anchor-chain factorization `C = L·A·R`, with `Lᵀ` cached for the
+/// low-rank update kernel.
+#[derive(Clone)]
+struct FactorChain {
+    l: CsrMatrix,
+    lt: CsrMatrix,
+    r: CsrMatrix,
+}
+
+/// How one materialized diagram reacts to an anchor update.
+#[derive(Clone)]
+enum NodeKind {
+    /// `C = L·A·R`: keeps the factor chain (boxed — most nodes are stacks).
+    AnchorChain(Box<FactorChain>),
+    /// Anchor-independent: carried over untouched.
+    AnchorFree,
+    /// Hadamard of other materialized nodes (indices into the store).
+    Stack(Vec<usize>),
+}
+
+/// An owning store of one catalog's count matrices plus everything needed
+/// to update them incrementally when anchors are confirmed.
+///
+/// Built once from a pair of networks (which it does **not** keep borrowed
+/// — the factor chains make the networks unnecessary afterwards), then
+/// driven by [`DeltaCatalogCounts::update_anchors`]. This is the counting
+/// core of `session::AlignmentSession`.
+///
+/// The store is a plain value (`Clone` duplicates every owned artifact),
+/// so callers can checkpoint a counting state and explore updates from it.
+#[derive(Clone)]
+pub struct DeltaCatalogCounts {
+    anchor: CsrMatrix,
+    /// Materialized diagrams in dependency order (stack parts first).
+    order: Vec<Diagram>,
+    kinds: Vec<NodeKind>,
+    counts: Vec<CsrMatrix>,
+    /// Catalog position → index into `order`/`counts`.
+    catalog_pos: Vec<usize>,
+    threading: Threading,
+    stats: DeltaStats,
+}
+
+impl fmt::Debug for DeltaCatalogCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeltaCatalogCounts")
+            .field("anchors", &self.anchor.nnz())
+            .field("catalog", &self.catalog_pos.len())
+            .field("materialized", &self.order.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl DeltaCatalogCounts {
+    /// Counts the whole catalog once (the store's single mandatory full
+    /// count) and harvests the factor chains for every anchor-dependent
+    /// diagram. `threading` fans the initial count out over covering-set
+    /// levels exactly like [`crate::proximity_matrices_par`]; results are
+    /// bit-identical at any setting.
+    ///
+    /// Factor harvesting is eager because the networks are not retained
+    /// after the build — a batch caller that never updates pays for it
+    /// too. That cost is `O(nnz)` clones/transposes of ~10 step matrices,
+    /// measured within run-to-run noise of the catalog's SpGEMMs on the
+    /// quick eval preset (perf-gated in CI); if it ever matters, a
+    /// build-without-update-support mode is the escape hatch.
+    ///
+    /// # Errors
+    /// Propagates [`CountEngine::new`] validation (anchor shape, shared
+    /// attribute universes).
+    pub fn build(
+        left: &HetNet,
+        right: &HetNet,
+        anchor: CsrMatrix,
+        catalog: &Catalog,
+        threading: Threading,
+    ) -> Result<Self, EngineError> {
+        let engine = CountEngine::new(left, right, anchor.clone())?;
+        // Warm the engine cache level by level (workers share the Lemma-2
+        // cache; a barrier between levels keeps factors available).
+        let coverings = catalog.coverings();
+        let workers = threading.resolve();
+        for level in plan_levels(&coverings) {
+            if workers <= 1 || level.len() <= 1 {
+                for idx in level {
+                    let _ = engine.count(&catalog.entries()[idx].diagram);
+                }
+            } else {
+                let per_worker = level.len().div_ceil(workers);
+                let engine_ref = &engine;
+                std::thread::scope(|scope| {
+                    for idxs in level.chunks(per_worker) {
+                        scope.spawn(move || {
+                            for &idx in idxs {
+                                let _ = engine_ref.count(&catalog.entries()[idx].diagram);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+        // Harvest counts and factor chains in dependency order.
+        let mut store = DeltaCatalogCounts {
+            anchor,
+            order: Vec::new(),
+            kinds: Vec::new(),
+            counts: Vec::new(),
+            catalog_pos: Vec::with_capacity(catalog.len()),
+            threading,
+            stats: DeltaStats {
+                full_counts: 1,
+                ..DeltaStats::default()
+            },
+        };
+        let mut index: HashMap<Diagram, usize> = HashMap::new();
+        for entry in catalog.entries() {
+            let pos = store.materialize(&engine, &entry.diagram, &mut index);
+            store.catalog_pos.push(pos);
+        }
+        Ok(store)
+    }
+
+    fn materialize(
+        &mut self,
+        engine: &CountEngine<'_>,
+        diagram: &Diagram,
+        index: &mut HashMap<Diagram, usize>,
+    ) -> usize {
+        if let Some(&i) = index.get(diagram) {
+            return i;
+        }
+        let kind = match diagram {
+            Diagram::Stack(parts) => NodeKind::Stack(
+                parts
+                    .iter()
+                    .map(|p| self.materialize(engine, p, index))
+                    .collect(),
+            ),
+            _ => match engine.anchor_chain_factors(diagram) {
+                Some((l, r)) => NodeKind::AnchorChain(Box::new(FactorChain {
+                    lt: l.transpose(),
+                    l,
+                    r,
+                })),
+                None => NodeKind::AnchorFree,
+            },
+        };
+        let count = (*engine.count(diagram)).clone();
+        let i = self.order.len();
+        self.order.push(diagram.clone());
+        self.kinds.push(kind);
+        self.counts.push(count);
+        index.insert(diagram.clone(), i);
+        i
+    }
+
+    /// The current (merged) anchor matrix.
+    pub fn anchor(&self) -> &CsrMatrix {
+        &self.anchor
+    }
+
+    /// Number of anchors currently counted against.
+    pub fn n_anchors(&self) -> usize {
+        self.anchor.nnz()
+    }
+
+    /// Number of catalog features.
+    pub fn len(&self) -> usize {
+        self.catalog_pos.len()
+    }
+
+    /// Catalogs are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.catalog_pos.is_empty()
+    }
+
+    /// The count matrix of catalog feature `i` (catalog order).
+    pub fn catalog_count(&self, i: usize) -> &CsrMatrix {
+        &self.counts[self.catalog_pos[i]]
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> DeltaStats {
+        self.stats
+    }
+
+    /// Validates and dedups `links` against the current anchors, returning
+    /// the genuinely new `(row, col)` pairs.
+    fn fresh_links(&self, links: &[AnchorLink]) -> Result<Vec<(usize, usize)>, DeltaError> {
+        let (n1, n2) = self.anchor.shape();
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
+        let mut fresh = Vec::new();
+        for a in links {
+            let (i, j) = (a.left.index(), a.right.index());
+            if i >= n1 {
+                return Err(DeltaError::AnchorOutOfRange {
+                    side: "left",
+                    index: i,
+                    count: n1,
+                });
+            }
+            if j >= n2 {
+                return Err(DeltaError::AnchorOutOfRange {
+                    side: "right",
+                    index: j,
+                    count: n2,
+                });
+            }
+            if self.anchor.get(i, j) != 0.0 || !seen.insert((i, j)) {
+                continue;
+            }
+            fresh.push((i, j));
+        }
+        Ok(fresh)
+    }
+
+    fn merge(&mut self, fresh: &[(usize, usize)]) -> CsrMatrix {
+        let (n1, n2) = self.anchor.shape();
+        let mut coo = CooMatrix::with_capacity(n1, n2, fresh.len());
+        for &(i, j) in fresh {
+            coo.push(i, j, 1.0).expect("fresh links pre-validated");
+        }
+        let delta = coo.to_csr();
+        self.anchor = self
+            .anchor
+            .add(&delta)
+            .expect("delta shares the anchor shape");
+        self.stats.anchors_applied += fresh.len();
+        delta
+    }
+
+    /// Applies `ΔA` incrementally: every anchor-chain count gains
+    /// `L·ΔA·R`, every stacking over a changed factor re-Hadamards, and
+    /// anchor-free counts are untouched. Cost scales with `|ΔA|`.
+    ///
+    /// Links already present (and duplicates within the batch) are skipped;
+    /// an all-duplicate batch is a no-op that leaves the stats untouched.
+    ///
+    /// # Errors
+    /// [`DeltaError::AnchorOutOfRange`] on endpoints outside the user
+    /// populations; the store is unchanged in that case.
+    pub fn update_anchors(&mut self, links: &[AnchorLink]) -> Result<DeltaOutcome, DeltaError> {
+        let fresh = self.fresh_links(links)?;
+        if fresh.is_empty() {
+            return Ok(DeltaOutcome::default());
+        }
+        let delta = self.merge(&fresh);
+        let changed = self.repropagate(Some(&delta));
+        self.stats.delta_updates += 1;
+        Ok(DeltaOutcome {
+            applied: fresh.len(),
+            changed,
+        })
+    }
+
+    /// Merges `links` and recounts every anchor-dependent chain **from the
+    /// full merged anchor matrix** (`L·A·R` from scratch). This is the
+    /// reference full-recount path the delta path is measured against; the
+    /// results are bit-identical, only the cost differs.
+    ///
+    /// Like [`DeltaCatalogCounts::update_anchors`], a batch with no
+    /// genuinely new anchor is a no-op: nothing recounts and the stats are
+    /// untouched, so the two paths stay round-for-round comparable.
+    ///
+    /// # Errors
+    /// [`DeltaError::AnchorOutOfRange`] on endpoints outside the user
+    /// populations; the store is unchanged in that case.
+    pub fn recount_anchors(&mut self, links: &[AnchorLink]) -> Result<DeltaOutcome, DeltaError> {
+        let fresh = self.fresh_links(links)?;
+        if fresh.is_empty() {
+            return Ok(DeltaOutcome::default());
+        }
+        let applied = fresh.len();
+        self.merge(&fresh);
+        let changed = self.repropagate(None);
+        self.stats.full_counts += 1;
+        Ok(DeltaOutcome { applied, changed })
+    }
+
+    /// One propagation pass in dependency order. `delta` selects the
+    /// incremental path; `None` recomputes chains from the merged anchors.
+    /// Returns the changed catalog positions.
+    fn repropagate(&mut self, delta: Option<&CsrMatrix>) -> Vec<usize> {
+        let mut changed = vec![false; self.order.len()];
+        for i in 0..self.order.len() {
+            match &self.kinds[i] {
+                NodeKind::AnchorChain(chain) => {
+                    self.counts[i] = match delta {
+                        Some(d) => {
+                            let dc = spgemm_lowrank(&chain.lt, d, &chain.r)
+                                .expect("factor chain shapes are consistent");
+                            self.counts[i]
+                                .add(&dc)
+                                .expect("delta count shares the count shape")
+                        }
+                        None => {
+                            let la = spgemm_threaded(
+                                &chain.l,
+                                &self.anchor,
+                                Accumulator::Auto,
+                                self.threading,
+                            )
+                            .expect("factor chain shapes are consistent");
+                            spgemm_threaded(&la, &chain.r, Accumulator::Auto, self.threading)
+                                .expect("factor chain shapes are consistent")
+                        }
+                    };
+                    changed[i] = true;
+                }
+                NodeKind::AnchorFree => {}
+                NodeKind::Stack(parts) => {
+                    if parts.iter().any(|&p| changed[p]) {
+                        let mut acc = self.counts[parts[0]].clone();
+                        for &p in &parts[1..] {
+                            acc = acc
+                                .hadamard(&self.counts[p])
+                                .expect("stack factors share the count shape");
+                        }
+                        self.counts[i] = acc;
+                        changed[i] = true;
+                    }
+                }
+            }
+        }
+        self.catalog_pos
+            .iter()
+            .enumerate()
+            .filter(|&(_, &ord)| changed[ord])
+            .map(|(cat, _)| cat)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, FeatureSet};
+    use crate::count::CountEngine;
+    use hetnet::aligned::anchor_matrix;
+    use hetnet::UserId;
+
+    fn world() -> datagen::GeneratedWorld {
+        datagen::generate(&datagen::presets::tiny(17))
+    }
+
+    fn split_links(w: &datagen::GeneratedWorld) -> (Vec<AnchorLink>, Vec<AnchorLink>) {
+        let links = w.truth().links();
+        (links[..12].to_vec(), links[12..].to_vec())
+    }
+
+    fn store(w: &datagen::GeneratedWorld, initial: &[AnchorLink]) -> DeltaCatalogCounts {
+        let a = anchor_matrix(w.left().n_users(), w.right().n_users(), initial).unwrap();
+        DeltaCatalogCounts::build(
+            w.left(),
+            w.right(),
+            a,
+            &Catalog::new(FeatureSet::Full),
+            Threading::Serial,
+        )
+        .unwrap()
+    }
+
+    fn reference_counts(w: &datagen::GeneratedWorld, anchors: &[AnchorLink]) -> Vec<CsrMatrix> {
+        let a = anchor_matrix(w.left().n_users(), w.right().n_users(), anchors).unwrap();
+        let engine = CountEngine::new(w.left(), w.right(), a).unwrap();
+        Catalog::new(FeatureSet::Full)
+            .entries()
+            .iter()
+            .map(|e| (*engine.count(&e.diagram)).clone())
+            .collect()
+    }
+
+    #[test]
+    fn build_matches_engine_counts() {
+        let w = world();
+        let (initial, _) = split_links(&w);
+        let s = store(&w, &initial);
+        let reference = reference_counts(&w, &initial);
+        assert_eq!(s.len(), 31);
+        assert!(!s.is_empty());
+        for (i, want) in reference.iter().enumerate() {
+            assert_eq!(s.catalog_count(i), want, "catalog entry {i}");
+        }
+        assert_eq!(s.stats().full_counts, 1);
+        assert_eq!(s.stats().delta_updates, 0);
+        assert_eq!(s.n_anchors(), initial.len());
+    }
+
+    #[test]
+    fn delta_update_is_bit_equal_to_full_recount() {
+        let w = world();
+        let (initial, held_out) = split_links(&w);
+        let mut s = store(&w, &initial);
+        // Two rounds of confirmed anchors.
+        for batch in held_out.chunks(7) {
+            let outcome = s.update_anchors(batch).unwrap();
+            assert_eq!(outcome.applied, batch.len());
+            assert!(!outcome.changed.is_empty());
+        }
+        let merged: Vec<AnchorLink> = w.truth().links().to_vec();
+        let reference = reference_counts(&w, &merged);
+        for (i, want) in reference.iter().enumerate() {
+            assert_eq!(s.catalog_count(i), want, "catalog entry {i} diverged");
+        }
+        assert_eq!(s.stats().full_counts, 1, "delta path must not recount");
+        assert_eq!(s.stats().delta_updates, 3.min(held_out.chunks(7).count()));
+        assert_eq!(s.stats().anchors_applied, held_out.len());
+    }
+
+    #[test]
+    fn recount_path_matches_delta_path() {
+        let w = world();
+        let (initial, held_out) = split_links(&w);
+        let mut delta = store(&w, &initial);
+        let mut full = store(&w, &initial);
+        let o1 = delta.update_anchors(&held_out).unwrap();
+        let o2 = full.recount_anchors(&held_out).unwrap();
+        assert_eq!(o1, o2);
+        for i in 0..delta.len() {
+            assert_eq!(delta.catalog_count(i), full.catalog_count(i));
+        }
+        assert_eq!(full.stats().full_counts, 2);
+        assert_eq!(full.stats().delta_updates, 0);
+    }
+
+    #[test]
+    fn anchor_free_features_are_not_reported_changed() {
+        let w = world();
+        let (initial, held_out) = split_links(&w);
+        let mut s = store(&w, &initial);
+        let outcome = s.update_anchors(&held_out[..3]).unwrap();
+        let catalog = Catalog::new(FeatureSet::Full);
+        // P5, P6 and Ψ[P5×P6] never touch the anchor matrix.
+        for (i, entry) in catalog.entries().iter().enumerate() {
+            let anchor_free = matches!(entry.diagram, Diagram::Attr(_) | Diagram::AttrPair(_, _));
+            assert_eq!(
+                !outcome.changed.contains(&i),
+                anchor_free,
+                "entry {} ({})",
+                i,
+                entry.name
+            );
+        }
+        assert_eq!(outcome.changed.len(), 28);
+    }
+
+    #[test]
+    fn duplicate_and_known_links_are_noops() {
+        let w = world();
+        let (initial, held_out) = split_links(&w);
+        let mut s = store(&w, &initial);
+        let before = s.stats();
+        // Already-present links and in-batch duplicates vanish.
+        let outcome = s
+            .update_anchors(&[initial[0], initial[1], initial[0]])
+            .unwrap();
+        assert_eq!(outcome, DeltaOutcome::default());
+        assert_eq!(s.stats(), before);
+        // A mixed batch applies only the new part.
+        let outcome = s
+            .update_anchors(&[initial[0], held_out[0], held_out[0]])
+            .unwrap();
+        assert_eq!(outcome.applied, 1);
+        // The full-recount path shares the no-op contract: an
+        // all-duplicate batch must not pay a catalog recount.
+        let before = s.stats();
+        let outcome = s.recount_anchors(&[initial[0], held_out[0]]).unwrap();
+        assert_eq!(outcome, DeltaOutcome::default());
+        assert_eq!(s.stats(), before, "no-op recount must not bump stats");
+    }
+
+    #[test]
+    fn out_of_range_links_are_rejected_without_mutation() {
+        let w = world();
+        let (initial, _) = split_links(&w);
+        let mut s = store(&w, &initial);
+        let n_anchors = s.n_anchors();
+        let bad = AnchorLink::new(UserId(u32::MAX), UserId(0));
+        let err = s.update_anchors(&[bad]).unwrap_err();
+        assert!(matches!(
+            err,
+            DeltaError::AnchorOutOfRange { side: "left", .. }
+        ));
+        assert!(err.to_string().contains("left"));
+        assert_eq!(s.n_anchors(), n_anchors, "store mutated on error");
+        let bad = AnchorLink::new(UserId(0), UserId(u32::MAX));
+        assert!(matches!(
+            s.update_anchors(&[bad]).unwrap_err(),
+            DeltaError::AnchorOutOfRange { side: "right", .. }
+        ));
+    }
+
+    #[test]
+    fn threaded_build_is_bit_equal_to_serial() {
+        let w = world();
+        let (initial, held_out) = split_links(&w);
+        let a = anchor_matrix(w.left().n_users(), w.right().n_users(), &initial).unwrap();
+        let catalog = Catalog::new(FeatureSet::Full);
+        let serial =
+            DeltaCatalogCounts::build(w.left(), w.right(), a.clone(), &catalog, Threading::Serial)
+                .unwrap();
+        for threads in [2usize, 4] {
+            let mut par = DeltaCatalogCounts::build(
+                w.left(),
+                w.right(),
+                a.clone(),
+                &catalog,
+                Threading::Threads(threads),
+            )
+            .unwrap();
+            for i in 0..serial.len() {
+                assert_eq!(par.catalog_count(i), serial.catalog_count(i));
+            }
+            // And the threaded full-recount path agrees with the reference.
+            par.recount_anchors(&held_out).unwrap();
+            let reference = reference_counts(&w, w.truth().links());
+            for (i, want) in reference.iter().enumerate() {
+                assert_eq!(par.catalog_count(i), want);
+            }
+        }
+    }
+}

@@ -128,13 +128,34 @@ pub fn extract_features_par(
     threading: Threading,
 ) -> FeatureMatrix {
     let proxies = proximity_matrices_par(engine, catalog, threading);
-    let ncols = catalog.len();
+    let names = catalog.names().into_iter().map(String::from).collect();
+    gather_features(&proxies, names, candidates, threading)
+}
+
+/// Gathers per-candidate feature rows from already-computed proximity
+/// matrices (one per feature column, in column order; owned or borrowed —
+/// the session's partial column refresh passes `&[&CsrMatrix]`). This is
+/// the shared tail of [`extract_features_par`] and of the session API's
+/// featurization, so both produce bit-identical matrices by construction.
+/// The gather is split over contiguous candidate batches when `threading`
+/// allows; results are identical at any worker count.
+pub fn gather_features<M>(
+    proxies: &[M],
+    names: Vec<String>,
+    candidates: &[(UserId, UserId)],
+    threading: Threading,
+) -> FeatureMatrix
+where
+    M: std::borrow::Borrow<CsrMatrix> + Sync,
+{
+    assert_eq!(proxies.len(), names.len(), "one proximity per column");
+    let ncols = proxies.len();
     let mut x = DenseMatrix::zeros(candidates.len(), ncols);
     let workers = threading.resolve().min(candidates.len()).max(1);
     if workers <= 1 {
         for (col, prox) in proxies.iter().enumerate() {
             for (row, &(l, r)) in candidates.iter().enumerate() {
-                let v = prox.get(l.index(), r.index());
+                let v = prox.borrow().get(l.index(), r.index());
                 if v != 0.0 {
                     x[(row, col)] = v;
                 }
@@ -144,7 +165,6 @@ pub fn extract_features_par(
         // Contiguous candidate batches; each worker fills a private buffer
         // that is copied into the shared matrix after the join.
         let per_worker = candidates.len().div_ceil(workers);
-        let proxies_ref = &proxies;
         let blocks: Vec<(usize, Vec<f64>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = candidates
                 .chunks(per_worker)
@@ -152,9 +172,9 @@ pub fn extract_features_par(
                 .map(|(block, batch)| {
                     scope.spawn(move || {
                         let mut buf = vec![0f64; batch.len() * ncols];
-                        for (col, prox) in proxies_ref.iter().enumerate() {
+                        for (col, prox) in proxies.iter().enumerate() {
                             for (row, &(l, r)) in batch.iter().enumerate() {
-                                let v = prox.get(l.index(), r.index());
+                                let v = prox.borrow().get(l.index(), r.index());
                                 if v != 0.0 {
                                     buf[row * ncols + col] = v;
                                 }
@@ -175,10 +195,7 @@ pub fn extract_features_par(
             }
         }
     }
-    FeatureMatrix {
-        x,
-        names: catalog.names().into_iter().map(String::from).collect(),
-    }
+    FeatureMatrix { x, names }
 }
 
 #[cfg(test)]

@@ -19,6 +19,9 @@
 //!   stacking for diagrams, a memoizing cache exploiting covering-set
 //!   containment, and the composite-key optimization that counts Ψa²
 //!   without materializing post × post products.
+//! * [`delta`] — incremental catalog recounting: anchor-chain counts are
+//!   low-rank updates `L·ΔA·R` in the newly confirmed anchors, so active
+//!   query rounds pay `O(|ΔA|)` instead of a full recount.
 //! * [`proximity`] — the Dice-style meta diagram proximity of Definition 6.
 //! * [`catalog`] — assembly of the full feature catalog
 //!   Φ = P ∪ Ψf² ∪ Ψa² ∪ Ψf,a ∪ Ψf,a² ∪ Ψf²,a² (31 features).
@@ -34,6 +37,7 @@ pub mod bruteforce;
 pub mod catalog;
 pub mod count;
 pub mod covering;
+pub mod delta;
 pub mod diagram;
 pub mod features;
 pub mod path;
@@ -42,10 +46,11 @@ pub mod proximity;
 pub use catalog::{Catalog, CatalogEntry, FeatureSet};
 pub use count::{AttrCountStrategy, CountEngine};
 pub use covering::CoveringSet;
+pub use delta::{DeltaCatalogCounts, DeltaError, DeltaOutcome, DeltaStats};
 pub use diagram::{AttrPathId, Diagram, SocialPathId};
 pub use features::{
-    extract_features, extract_features_par, proximity_matrices, proximity_matrices_par,
-    FeatureMatrix,
+    extract_features, extract_features_par, gather_features, proximity_matrices,
+    proximity_matrices_par, FeatureMatrix,
 };
 pub use path::{MetaPath, Step};
 pub use proximity::dice_proximity;

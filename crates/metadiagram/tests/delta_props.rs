@@ -1,0 +1,75 @@
+//! Property tests for the incremental anchor-update path: applying random
+//! `ΔA` batches through [`DeltaCatalogCounts::update_anchors`] must be
+//! **bit-equal** to a full recount from the merged anchor set — across
+//! random batch shapes (truth links, arbitrary pairs, duplicates), build
+//! thread counts, and every path template P1–P6 plus all stacked families
+//! of the full 31-feature catalog.
+
+use hetnet::aligned::anchor_matrix;
+use hetnet::{AnchorLink, UserId};
+use metadiagram::{Catalog, CountEngine, DeltaCatalogCounts, FeatureSet, Threading};
+use proptest::prelude::*;
+
+fn world(seed: u64) -> datagen::GeneratedWorld {
+    datagen::generate(&datagen::presets::tiny(seed))
+}
+
+/// Random anchor batches: a mix of held-out ground-truth links and
+/// arbitrary user pairs (the counting algebra does not require anchors to
+/// be true or one-to-one), with duplicates allowed on purpose.
+fn batches_strategy() -> impl Strategy<Value = Vec<Vec<(u32, u32)>>> {
+    proptest::collection::vec(proptest::collection::vec((0u32..38, 0u32..40), 1..8), 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn update_anchors_is_bit_equal_to_full_recount(
+        seed in 0u64..3,
+        initial_k in 1usize..20,
+        batches in batches_strategy(),
+        threads in 1usize..4
+    ) {
+        let w = world(11 + seed * 7);
+        let initial: Vec<AnchorLink> = w.truth().links()[..initial_k].to_vec();
+        let base = anchor_matrix(w.left().n_users(), w.right().n_users(), &initial).unwrap();
+        let catalog = Catalog::new(FeatureSet::Full);
+        let mut store = DeltaCatalogCounts::build(
+            w.left(),
+            w.right(),
+            base,
+            &catalog,
+            Threading::Threads(threads),
+        )
+        .unwrap();
+
+        // Drive the incremental path batch by batch.
+        let mut merged = initial.clone();
+        for batch in &batches {
+            let links: Vec<AnchorLink> = batch
+                .iter()
+                .map(|&(l, r)| AnchorLink::new(UserId(l), UserId(r)))
+                .collect();
+            store.update_anchors(&links).unwrap();
+            merged.extend(links);
+        }
+
+        // Reference: a fresh engine over the merged anchor matrix. The
+        // merged list may contain duplicates; anchor_matrix binarizes.
+        let full = anchor_matrix(w.left().n_users(), w.right().n_users(), &merged).unwrap();
+        let engine = CountEngine::new(w.left(), w.right(), full).unwrap();
+        for (i, entry) in catalog.entries().iter().enumerate() {
+            let want = engine.count(&entry.diagram);
+            prop_assert_eq!(
+                store.catalog_count(i),
+                &*want,
+                "template {} diverged after {} batches",
+                &entry.name,
+                batches.len()
+            );
+        }
+        // The store never fell back to full counting.
+        prop_assert_eq!(store.stats().full_counts, 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Acceptance tests for the session-driven active loop: with a budget of
+//! ≥ 20 queries, the catalog is fully counted **exactly once** (at session
+//! build); every subsequent round flows through `update_anchors`, and the
+//! delta path is bit-identical to recounting from scratch every round.
+
+use activeiter::query::RandomQuery;
+use activeiter::{ModelConfig, VecOracle};
+use hetnet::UserId;
+use session::{RecountPolicy, SessionBuilder};
+
+struct Problem {
+    world: datagen::GeneratedWorld,
+    candidates: Vec<(UserId, UserId)>,
+    truth: Vec<bool>,
+    labeled: Vec<usize>,
+}
+
+/// All ground-truth anchors as positives plus two rings of mismatched
+/// pairs as negatives; the first 8 positives are labeled.
+fn problem(seed: u64) -> Problem {
+    let world = datagen::generate(&datagen::presets::tiny(seed));
+    let links = world.truth().links().to_vec();
+    let mut candidates: Vec<(UserId, UserId)> = links.iter().map(|l| (l.left, l.right)).collect();
+    let mut truth = vec![true; candidates.len()];
+    for shift in [1usize, 2] {
+        for (a, b) in links.iter().zip(links.iter().cycle().skip(shift)) {
+            candidates.push((a.left, b.right));
+            truth.push(false);
+        }
+    }
+    Problem {
+        world,
+        candidates,
+        truth,
+        labeled: (0..8).collect(),
+    }
+}
+
+fn run(p: &Problem, policy: RecountPolicy) -> (session::ActiveRunReport, metadiagram::DeltaStats) {
+    let train: Vec<_> = p
+        .labeled
+        .iter()
+        .map(|&i| p.world.truth().links()[i])
+        .collect();
+    let session = SessionBuilder::new(p.world.left(), p.world.right())
+        .anchors(train)
+        .count()
+        .expect("generated networks share attribute universes")
+        .featurize(p.candidates.clone());
+    let config = ModelConfig {
+        budget: 20,
+        ..Default::default()
+    };
+    let mut strategy = RandomQuery::new(99);
+    let oracle = VecOracle::new(p.truth.clone());
+    let (fitted, report) = session
+        .run_active(p.labeled.clone(), &oracle, &mut strategy, &config, policy)
+        .expect("candidates live in the networks' universe");
+    let stats = fitted.stats();
+    (report, stats)
+}
+
+fn f1(labels: &[f64], truth: &[bool]) -> f64 {
+    let (mut tp, mut f_p, mut f_n) = (0.0, 0.0, 0.0);
+    for (&l, &t) in labels.iter().zip(truth) {
+        match (l == 1.0, t) {
+            (true, true) => tp += 1.0,
+            (true, false) => f_p += 1.0,
+            (false, true) => f_n += 1.0,
+            (false, false) => {}
+        }
+    }
+    2.0 * tp / (2.0 * tp + f_p + f_n)
+}
+
+#[test]
+fn delta_loop_counts_once_and_matches_full_recount_bit_for_bit() {
+    let p = problem(41);
+    let (delta_run, delta_stats) = run(&p, RecountPolicy::Delta);
+    let (full_run, full_stats) = run(&p, RecountPolicy::FullEachRound);
+
+    // Budget ≥ 20 actually spent across multiple rounds.
+    assert_eq!(delta_run.fit.queried.len(), 20, "budget fully consumed");
+    assert!(delta_run.rounds.len() >= 4, "batch 5 → at least 4 rounds");
+    let confirming_rounds = delta_run
+        .rounds
+        .iter()
+        .filter(|r| r.anchors_applied > 0)
+        .count();
+    assert!(confirming_rounds >= 1, "some positives must be confirmed");
+
+    // The tentpole guarantee: full catalog counting happened exactly once
+    // for the delta loop — every later round went through update_anchors.
+    assert_eq!(delta_stats.full_counts, 1);
+    assert_eq!(delta_stats.delta_updates, confirming_rounds);
+    // The reference loop recounted every confirming round instead.
+    assert_eq!(full_stats.full_counts, 1 + confirming_rounds);
+    assert_eq!(full_stats.delta_updates, 0);
+    assert_eq!(
+        delta_stats.anchors_applied, full_stats.anchors_applied,
+        "both loops merged the same anchors"
+    );
+
+    // Bit-identical models: labels, scores, query trajectory — hence F1.
+    assert_eq!(delta_run.fit.queried, full_run.fit.queried);
+    assert_eq!(delta_run.fit.labels, full_run.fit.labels);
+    assert_eq!(delta_run.fit.scores, full_run.fit.scores);
+    assert_eq!(delta_run.fit.weights, full_run.fit.weights);
+    let (df1, ff1) = (
+        f1(&delta_run.fit.labels, &p.truth),
+        f1(&full_run.fit.labels, &p.truth),
+    );
+    assert_eq!(df1, ff1, "F1 must be bit-identical");
+    assert!(df1 > 0.0, "the fit should find something");
+    assert_eq!(
+        delta_run.total_anchors_applied(),
+        full_run.total_anchors_applied()
+    );
+}
+
+#[test]
+fn session_loop_is_deterministic_under_seed() {
+    let p = problem(43);
+    let (a, _) = run(&p, RecountPolicy::Delta);
+    let (b, _) = run(&p, RecountPolicy::Delta);
+    assert_eq!(a.fit.labels, b.fit.labels);
+    assert_eq!(a.fit.queried, b.fit.queried);
+    // Round bookkeeping is deterministic apart from wall-clock.
+    assert_eq!(a.rounds.len(), b.rounds.len());
+    for (ra, rb) in a.rounds.iter().zip(b.rounds.iter()) {
+        assert_eq!(
+            (ra.queried, ra.confirmed, ra.anchors_applied),
+            (rb.queried, rb.confirmed, rb.anchors_applied)
+        );
+    }
+}
+
+#[test]
+fn feature_refresh_feeds_back_into_later_rounds() {
+    // The refreshed features must actually differ from the static-feature
+    // fit: confirmed anchors strengthen P1–P4 signals mid-loop.
+    let p = problem(47);
+    let (run_report, _) = run(&p, RecountPolicy::Delta);
+    let train: Vec<_> = p
+        .labeled
+        .iter()
+        .map(|&i| p.world.truth().links()[i])
+        .collect();
+    let session = SessionBuilder::new(p.world.left(), p.world.right())
+        .anchors(train)
+        .count()
+        .unwrap()
+        .featurize(p.candidates.clone());
+    let config = ModelConfig {
+        budget: 20,
+        ..Default::default()
+    };
+    let mut strategy = RandomQuery::new(99);
+    let static_fit = session
+        .fit(
+            p.labeled.clone(),
+            &VecOracle::new(p.truth.clone()),
+            &config,
+            &mut strategy,
+        )
+        .into_report();
+    // Same query trajectory start, but the refreshed loop re-scores with
+    // updated features — the score vectors must diverge somewhere.
+    assert_ne!(
+        run_report.fit.scores, static_fit.scores,
+        "anchor feedback had no effect on the features"
+    );
+}

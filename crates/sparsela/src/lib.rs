@@ -38,4 +38,7 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::{Result, SparseError};
 pub use ridge::RidgeSolver;
-pub use spgemm::{spgemm, spgemm_par, spgemm_threaded, spgemm_with, Accumulator, Threading};
+pub use spgemm::{
+    spgemm, spgemm_lowrank, spgemm_par, spgemm_partitioned, spgemm_threaded, spgemm_with,
+    Accumulator, RowPartition, Threading,
+};

@@ -64,6 +64,21 @@ impl Threading {
     }
 }
 
+/// How the parallel kernels split the left operand into contiguous row
+/// blocks. Both strategies are **bit-identical** in output — partitioning
+/// never changes the per-row computation, only which worker runs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowPartition {
+    /// Equal row *counts* per block. Simple, but a handful of dense hub
+    /// rows among thousands of near-empty ones leaves most workers idle.
+    Even,
+    /// Equal per-row **FLOP estimates** per block (default): blocks are cut
+    /// so each carries ≈ `total_flops / workers`, reusing the same
+    /// `Σ nnz(rhs.row(k))` estimates that drive [`Accumulator::Auto`].
+    #[default]
+    FlopBalanced,
+}
+
 /// Computes `lhs * rhs`.
 ///
 /// # Errors
@@ -98,6 +113,22 @@ pub fn spgemm_threaded(
     acc: Accumulator,
     threading: Threading,
 ) -> Result<CsrMatrix> {
+    spgemm_partitioned(lhs, rhs, acc, threading, RowPartition::FlopBalanced)
+}
+
+/// [`spgemm_threaded`] with an explicit [`RowPartition`] strategy. Exists
+/// mainly so the Even-vs-FlopBalanced bit-equality is testable from the
+/// outside; production callers should stay on the default.
+///
+/// # Errors
+/// [`SparseError::DimMismatch`] when `lhs.ncols() != rhs.nrows()`.
+pub fn spgemm_partitioned(
+    lhs: &CsrMatrix,
+    rhs: &CsrMatrix,
+    acc: Accumulator,
+    threading: Threading,
+    partition: RowPartition,
+) -> Result<CsrMatrix> {
     if lhs.ncols() != rhs.nrows() {
         return Err(SparseError::DimMismatch {
             op: "spgemm",
@@ -108,19 +139,23 @@ pub fn spgemm_threaded(
     let n = lhs.nrows();
     let workers = threading.resolve().min(n).max(1);
     if workers <= 1 {
-        let block = accumulate_block(lhs, rhs, 0..n, acc);
+        let block = accumulate_block(lhs, rhs, 0..n, acc, None);
         return Ok(block_into_csr(n, rhs.ncols(), block));
     }
-    // Contiguous row blocks of near-equal size; the last may be shorter.
-    let chunk = n.div_ceil(workers);
-    let ranges: Vec<Range<usize>> = (0..workers)
-        .map(|w| (w * chunk).min(n)..((w + 1) * chunk).min(n))
-        .filter(|r| !r.is_empty())
+    // Per-row FLOP estimates: needed once for the balanced cut, and reused
+    // by every Auto accumulator pick instead of re-deriving them per row.
+    let flops: Vec<usize> = (0..n)
+        .map(|i| lhs.row(i).map(|(k, _)| rhs.row_nnz(k)).sum())
         .collect();
+    let ranges = match partition {
+        RowPartition::Even => partition_even(n, workers),
+        RowPartition::FlopBalanced => partition_flop_balanced(&flops, workers),
+    };
+    let flops = &flops;
     let blocks: Vec<BlockOut> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .into_iter()
-            .map(|rows| scope.spawn(move || accumulate_block(lhs, rhs, rows, acc)))
+            .map(|rows| scope.spawn(move || accumulate_block(lhs, rhs, rows, acc, Some(flops))))
             .collect();
         handles
             .into_iter()
@@ -128,6 +163,42 @@ pub fn spgemm_threaded(
             .collect()
     });
     Ok(stitch_blocks(n, rhs.ncols(), blocks))
+}
+
+/// Contiguous row blocks of near-equal row count; the last may be shorter.
+fn partition_even(n: usize, workers: usize) -> Vec<Range<usize>> {
+    let chunk = n.div_ceil(workers);
+    (0..workers)
+        .map(|w| (w * chunk).min(n)..((w + 1) * chunk).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Contiguous row blocks cut so each carries ≈ `total / workers` of the
+/// per-row FLOP estimates. A single hub row heavier than the fair share
+/// gets a block of its own; the trailing block absorbs the remainder.
+fn partition_flop_balanced(flops: &[usize], workers: usize) -> Vec<Range<usize>> {
+    let n = flops.len();
+    let total: usize = flops.iter().sum();
+    if total == 0 {
+        return partition_even(n, workers);
+    }
+    let mut ranges: Vec<Range<usize>> = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    let mut cum: u128 = 0;
+    for (i, &f) in flops.iter().enumerate() {
+        cum += f as u128;
+        // Cut after row i once this prefix has reached the next fair share;
+        // the cross-multiplication avoids integer-division drift.
+        if ranges.len() + 1 < workers
+            && cum * workers as u128 >= total as u128 * (ranges.len() as u128 + 1)
+        {
+            ranges.push(start..i + 1);
+            start = i + 1;
+        }
+    }
+    ranges.push(start..n);
+    ranges.into_iter().filter(|r| !r.is_empty()).collect()
 }
 
 /// One row block's CSR fragment: cumulative row ends (block-local), column
@@ -183,11 +254,14 @@ fn row_wants_dense(flops: usize, width: usize) -> bool {
 }
 
 /// Gustavson accumulation over `rows`, appending into block-local buffers.
+/// `flops` optionally carries precomputed per-row FLOP estimates (indexed by
+/// absolute row) so the Auto pick does not re-derive them.
 fn accumulate_block(
     lhs: &CsrMatrix,
     rhs: &CsrMatrix,
     rows: Range<usize>,
     acc: Accumulator,
+    flops: Option<&[usize]>,
 ) -> BlockOut {
     let m = rhs.ncols();
     let mut row_ends = Vec::with_capacity(rows.len());
@@ -205,8 +279,11 @@ fn accumulate_block(
             Accumulator::Dense => true,
             Accumulator::SortMerge => false,
             Accumulator::Auto => {
-                let flops: usize = lhs.row(i).map(|(k, _)| rhs.row_nnz(k)).sum();
-                row_wants_dense(flops, m)
+                let estimate = match flops {
+                    Some(f) => f[i],
+                    None => lhs.row(i).map(|(k, _)| rhs.row_nnz(k)).sum(),
+                };
+                row_wants_dense(estimate, m)
             }
         };
         if use_dense {
@@ -266,6 +343,37 @@ fn accumulate_block(
         indices,
         values,
     }
+}
+
+/// Computes the sparse low-rank product `L·Δ·R` given the **transpose**
+/// `Lᵀ` of the left factor.
+///
+/// This is the kernel behind incremental anchor updates: a count matrix of
+/// the form `C = L·A·R` changes by exactly `L·ΔA·R` when the anchor matrix
+/// gains the entries of `ΔA`, and `ΔA` carries a handful of nonzeros (the
+/// newly confirmed anchors). Contracting `Δᵀ` against `Lᵀ` row-wise touches
+/// only the columns of `L` that the new anchors select, so the cost scales
+/// with `nnz(Δ) · degree` — not with `nnz(L)` or the catalog size. All
+/// arithmetic is the same exact integer-valued f64 math as the full
+/// product, so `(L·A·R) + (L·ΔA·R)` is **bit-equal** to `L·(A+ΔA)·R` for
+/// the nonnegative count matrices this library manipulates.
+///
+/// # Errors
+/// [`SparseError::DimMismatch`] when the shapes are inconsistent
+/// (`Lᵀ` is `k×n`, `Δ` must be `n×m`, `R` must be `m×p`).
+pub fn spgemm_lowrank(lt: &CsrMatrix, delta: &CsrMatrix, r: &CsrMatrix) -> Result<CsrMatrix> {
+    if lt.nrows() != delta.nrows() {
+        return Err(SparseError::DimMismatch {
+            op: "spgemm_lowrank",
+            lhs: (lt.ncols(), lt.nrows()),
+            rhs: delta.shape(),
+        });
+    }
+    // L·Δ = (Δᵀ·Lᵀ)ᵀ: the left operand of the inner product has one row per
+    // *column* of Δ, so only the Δ-selected rows do any work.
+    let dt = delta.transpose();
+    let ldt = spgemm_with(&dt, lt, Accumulator::Auto)?;
+    spgemm_with(&ldt.transpose(), r, Accumulator::Auto)
 }
 
 /// Multiplies a chain of matrices left to right: `m[0] * m[1] * … * m[k-1]`.
@@ -429,6 +537,61 @@ mod tests {
         let serial = spgemm_chain(&[&m1, &m2, &m3]).unwrap();
         let par = spgemm_chain_threaded(&[&m1, &m2, &m3], Threading::Threads(2)).unwrap();
         assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn flop_balanced_partition_isolates_hub_rows() {
+        // One hub row carrying ~all the FLOPs: the cut closes the hub's
+        // block right after it (the even split 0..2|2..4|4..6 would instead
+        // pair the hub with a light row and starve the last worker).
+        let flops = [0usize, 1, 900, 1, 1, 1];
+        let ranges = partition_flop_balanced(&flops, 3);
+        assert_eq!(ranges, vec![0..3, 3..4, 4..6]);
+        // Coverage: the blocks tile 0..6 in order.
+        let flat: Vec<usize> = ranges.iter().flat_map(|r| r.clone()).collect();
+        assert_eq!(flat, (0..6).collect::<Vec<_>>());
+        // All-zero estimates fall back to the even split.
+        assert_eq!(partition_flop_balanced(&[0; 6], 3), partition_even(6, 3));
+    }
+
+    #[test]
+    fn partition_strategies_are_bit_equal() {
+        let serial = spgemm(&a(), &b()).unwrap();
+        for part in [RowPartition::Even, RowPartition::FlopBalanced] {
+            let p = spgemm_partitioned(&a(), &b(), Accumulator::Auto, Threading::Threads(2), part)
+                .unwrap();
+            assert_eq!(p, serial, "{part:?} diverged");
+        }
+        assert_eq!(RowPartition::default(), RowPartition::FlopBalanced);
+    }
+
+    #[test]
+    fn lowrank_update_matches_full_product() {
+        // L (3×3), Δ (3×2) with one entry, R (2×2).
+        let l = CsrMatrix::from_dense(3, 3, &[1.0, 2.0, 0.0, 0.0, 1.0, 3.0, 4.0, 0.0, 1.0]);
+        let delta = CsrMatrix::from_dense(3, 2, &[0.0, 0.0, 1.0, 0.0, 0.0, 0.0]);
+        let r = CsrMatrix::from_dense(2, 2, &[1.0, 2.0, 3.0, 0.0]);
+        let full = spgemm(&spgemm(&l, &delta).unwrap(), &r).unwrap();
+        let low = spgemm_lowrank(&l.transpose(), &delta, &r).unwrap();
+        assert_eq!(low, full);
+    }
+
+    #[test]
+    fn lowrank_rejects_bad_shapes() {
+        let l = CsrMatrix::identity(3);
+        let delta = CsrMatrix::zeros(4, 2);
+        let r = CsrMatrix::identity(2);
+        let err = spgemm_lowrank(&l, &delta, &r).unwrap_err();
+        assert!(matches!(
+            err,
+            SparseError::DimMismatch {
+                op: "spgemm_lowrank",
+                ..
+            }
+        ));
+        // Δ/R mismatch surfaces from the inner product.
+        let delta = CsrMatrix::zeros(3, 5);
+        assert!(spgemm_lowrank(&l, &delta, &r).is_err());
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //! reference implementation on randomly generated matrices.
 
 use proptest::prelude::*;
-use sparsela::spgemm::{spgemm_chain, spgemm_par, spgemm_with, Accumulator, Threading};
+use sparsela::spgemm::{
+    spgemm_chain, spgemm_lowrank, spgemm_par, spgemm_partitioned, spgemm_with, Accumulator,
+    RowPartition, Threading,
+};
 use sparsela::{spgemm, CholeskyFactor, CooMatrix, CsrMatrix, DenseMatrix, RidgeSolver};
 
 /// Strategy: a random sparse matrix as (nrows, ncols, dense buffer) with
@@ -72,6 +75,50 @@ proptest! {
         let serial = spgemm(&a, &b).unwrap();
         let par = spgemm_par(&a, &b, Threading::Threads(threads)).unwrap();
         prop_assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn flop_balanced_partition_is_bit_equal_to_even_split(
+        (a, b) in pair_for_product(12),
+        threads in 2usize..=6,
+        acc_pick in 0usize..3
+    ) {
+        // The FLOP-weighted cut must be invisible in the output: same bits
+        // as the even split and as the serial kernel, for every accumulator
+        // (skewed row distributions included — pair_for_product regularly
+        // produces hub rows next to empty ones).
+        let acc = [Accumulator::Dense, Accumulator::SortMerge, Accumulator::Auto][acc_pick];
+        let serial = spgemm_with(&a, &b, acc).unwrap();
+        let even =
+            spgemm_partitioned(&a, &b, acc, Threading::Threads(threads), RowPartition::Even)
+                .unwrap();
+        let balanced = spgemm_partitioned(
+            &a, &b, acc, Threading::Threads(threads), RowPartition::FlopBalanced,
+        ).unwrap();
+        prop_assert_eq!(&even, &serial);
+        prop_assert_eq!(&balanced, &serial);
+    }
+
+    #[test]
+    fn lowrank_update_is_bit_equal_to_refactored_product(
+        n1 in 1usize..=7,
+        n2 in 1usize..=7,
+        ldata in proptest::collection::vec(prop_oneof![3 => Just(0.0), 1 => (1i32..=3).prop_map(f64::from)], 49),
+        rdata in proptest::collection::vec(prop_oneof![3 => Just(0.0), 1 => (1i32..=3).prop_map(f64::from)], 49),
+        edges in proptest::collection::vec((0usize..7, 0usize..7), 1..6)
+    ) {
+        // Nonnegative integer factors (the count-engine regime): the
+        // low-rank kernel must reproduce the plain product chain exactly.
+        let l = CsrMatrix::from_dense(n1, n1, &ldata[..n1 * n1]);
+        let r = CsrMatrix::from_dense(n2, n2, &rdata[..n2 * n2]);
+        let mut coo = CooMatrix::new(n1, n2);
+        for &(i, j) in &edges {
+            coo.push(i % n1, j % n2, 1.0).unwrap();
+        }
+        let delta = coo.to_csr().binarized();
+        let full = spgemm(&spgemm(&l, &delta).unwrap(), &r).unwrap();
+        let low = spgemm_lowrank(&l.transpose(), &delta, &r).unwrap();
+        prop_assert_eq!(low, full);
     }
 
     #[test]

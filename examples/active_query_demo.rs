@@ -1,42 +1,110 @@
-//! Active query demo: sweep the label budget and compare the paper's
-//! conflict-based query strategy against random querying — the dynamics
-//! behind the paper's Figure 5.
+//! Active querying through the session API: per-round timings, full vs delta.
+//!
+//! Builds one world, opens two identical sessions, and drives the same
+//! ActiveIter loop (same seed, same oracle) under both recount policies:
+//!
+//! * `RecountPolicy::FullEachRound` — every round recounts the anchor-
+//!   dependent chains from the full merged anchor matrix (the old
+//!   rebuild-per-round behaviour);
+//! * `RecountPolicy::Delta` — every round applies the sparse low-rank
+//!   update `C += L·ΔA·R`, whose cost scales with the handful of anchors
+//!   the oracle just confirmed.
+//!
+//! The fits are bit-identical; only the per-round recount wall-clock
+//! differs — the session counts the full catalog exactly once, at build.
 //!
 //! ```sh
 //! cargo run --release --example active_query_demo
 //! ```
 
 use social_align::prelude::*;
+use std::time::Duration;
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
 
 fn main() {
-    let world = datagen::generate(&datagen::presets::small(23));
-    // Harder protocol than the quickstart: more negatives per positive and
-    // only 60% of the training fold labeled, as in the paper's Fig. 5.
-    let spec = ExperimentSpec::cell(10, 0.6).with_rotations(3);
+    let world = datagen::generate(&datagen::presets::small(42));
+    let links = world.truth().links().to_vec();
 
-    let baseline = run_experiment(&world, &spec, Method::IterMpmd);
-    println!(
-        "Iter-MPMD (no queries)        F1 {:.3}±{:.2}",
-        baseline.f1.mean, baseline.f1.std
-    );
-    println!();
-    println!(
-        "{:<8} {:>16} {:>16}",
-        "budget", "ActiveIter F1", "ActiveIter-Rand F1"
-    );
-    for budget in [10usize, 25, 50, 75, 100] {
-        let active = run_experiment(&world, &spec, Method::ActiveIter { budget });
-        let random = run_experiment(&world, &spec, Method::ActiveIterRand { budget });
-        println!(
-            "{:<8} {:>10.3}±{:.2} {:>10.3}±{:.2}",
-            budget, active.f1.mean, active.f1.std, random.f1.mean, random.f1.std
-        );
+    // Candidate set: all true anchors plus three rings of mismatched pairs.
+    let mut candidates: Vec<(UserId, UserId)> = links.iter().map(|l| (l.left, l.right)).collect();
+    for shift in [1usize, 2, 3] {
+        for (a, b) in links.iter().zip(links.iter().cycle().skip(shift)) {
+            candidates.push((a.left, b.right));
+        }
     }
-    println!();
+    let truth: Vec<bool> = (0..candidates.len()).map(|i| i < links.len()).collect();
+    let labeled: Vec<usize> = (0..links.len() / 10).collect();
+    let train: Vec<AnchorLink> = labeled.iter().map(|&i| links[i]).collect();
+
+    let config = ModelConfig {
+        budget: 30,
+        ..Default::default()
+    };
     println!(
-        "The conflict strategy spends its budget on likely false negatives\n\
-         (near-tie losers of the greedy matching), so each queried label can\n\
-         correct several conflicting links at once; random queries mostly\n\
-         hit easy negatives and help far less — the paper's Fig. 5 shape."
+        "world: {} + {} users, {} candidates, {} labeled anchors, budget {}\n",
+        world.left().n_users(),
+        world.right().n_users(),
+        candidates.len(),
+        labeled.len(),
+        config.budget
+    );
+
+    let mut runs = Vec::new();
+    for policy in [RecountPolicy::FullEachRound, RecountPolicy::Delta] {
+        let build_start = std::time::Instant::now();
+        let session = SessionBuilder::new(world.left(), world.right())
+            .anchors(train.clone())
+            .count()
+            .expect("generated networks share attribute universes")
+            .featurize(candidates.clone());
+        let build_time = build_start.elapsed();
+
+        let mut strategy = activeiter::query::RandomQuery::new(7);
+        let oracle = VecOracle::new(truth.clone());
+        let (fitted, run) = session
+            .run_active(labeled.clone(), &oracle, &mut strategy, &config, policy)
+            .expect("candidates live in the networks' universe");
+
+        println!(
+            "policy {policy:?}  (build + first full count: {:.1} ms)",
+            ms(build_time)
+        );
+        println!("  round  queried  confirmed  recount-ms");
+        for (i, r) in run.rounds.iter().enumerate() {
+            println!(
+                "  {:>5}  {:>7}  {:>9}  {:>10.2}",
+                i + 1,
+                r.queried,
+                r.confirmed,
+                ms(r.recount_time)
+            );
+        }
+        let stats = fitted.stats();
+        println!(
+            "  totals: {:.2} ms recounting, {} anchors merged, \
+             full catalog counts = {}, delta updates = {}\n",
+            ms(run.total_recount_time()),
+            run.total_anchors_applied(),
+            stats.full_counts,
+            stats.delta_updates,
+        );
+        runs.push(run);
+    }
+
+    let (full, delta) = (&runs[0], &runs[1]);
+    assert_eq!(
+        full.fit.labels, delta.fit.labels,
+        "policies must produce bit-identical fits"
+    );
+    assert_eq!(full.fit.queried, delta.fit.queried);
+    let speedup = ms(full.total_recount_time()) / ms(delta.total_recount_time()).max(1e-9);
+    println!(
+        "bit-identical fits; per-run recount speedup: {:.1}x ({:.2} ms -> {:.2} ms)",
+        speedup,
+        ms(full.total_recount_time()),
+        ms(delta.total_recount_time())
     );
 }

@@ -27,15 +27,39 @@
 //!
 //! | crate | role |
 //! |---|---|
-//! | [`sparsela`] | CSR/COO sparse + dense linear algebra, SpGEMM, Cholesky ridge |
+//! | [`sparsela`] | CSR/COO sparse + dense linear algebra, SpGEMM (incl. the `L·ΔA·R` low-rank update kernel), Cholesky ridge |
 //! | [`hetnet`] | attributed heterogeneous networks, schema, anchors |
-//! | [`metadiagram`] | meta paths P1–P6, meta diagrams, covering sets, count engine, Dice proximity, the 31-feature catalog |
+//! | [`metadiagram`] | meta paths P1–P6, meta diagrams, covering sets, count engine, incremental delta recounts, Dice proximity, the 31-feature catalog |
 //! | [`datagen`] | seeded generator of aligned network pairs (Table II proportions) |
-//! | [`activeiter`] | the ActiveIter model, Iter-MPMD, ActiveIter-Rand, SVM baselines |
-//! | [`eval`] | folds, NP-ratio/sample-ratio protocol, metrics, paper-style tables |
+//! | [`activeiter`] | the ActiveIter model, the resumable round driver, Iter-MPMD, ActiveIter-Rand, SVM baselines |
+//! | [`session`] | the staged `AlignmentSession` pipeline: `SessionBuilder` → Counted → Featurized → Fitted, with `update_anchors` incremental recounting |
+//! | [`eval`] | folds, NP-ratio/sample-ratio protocol, metrics, paper-style tables — thin wrappers over sessions |
 //!
 //! The `bench` crate regenerates every table and figure of the paper's
 //! evaluation section (see EXPERIMENTS.md).
+//!
+//! ## The session API
+//!
+//! Interactive/active workloads should drive an [`session::AlignmentSession`]
+//! instead of the batch free functions: the catalog is fully counted once,
+//! and every confirmed anchor batch is folded in as a sparse low-rank
+//! update whose cost scales with `|ΔA|` (see `examples/active_query_demo.rs`
+//! for per-round full-vs-delta timings).
+//!
+//! ```
+//! use social_align::prelude::*;
+//!
+//! let world = datagen::generate(&datagen::presets::tiny(7));
+//! let mut session = SessionBuilder::new(world.left(), world.right())
+//!     .anchors(world.truth().links()[..10].to_vec())
+//!     .count()
+//!     .expect("generated networks share attribute universes")
+//!     .featurize(world.truth().iter().map(|l| (l.left, l.right)).collect());
+//! // A confirmed anchor re-derives only the anchor-dependent features.
+//! let confirmed = world.truth().links()[10];
+//! assert_eq!(session.update_anchors(&[confirmed]).unwrap(), 1);
+//! assert_eq!(session.stats().full_counts, 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +69,7 @@ pub use datagen;
 pub use eval;
 pub use hetnet;
 pub use metadiagram;
+pub use session;
 pub use sparsela;
 
 /// The most common imports for downstream users.
@@ -60,4 +85,7 @@ pub mod prelude {
     };
     pub use hetnet::{AlignedPair, AnchorLink, AnchorSet, HetNet, HetNetBuilder, UserId};
     pub use metadiagram::{Catalog, CountEngine, Diagram, FeatureSet};
+    pub use session::{
+        ActiveRunReport, AlignmentSession, AnchorEdge, RecountPolicy, SessionBuilder,
+    };
 }

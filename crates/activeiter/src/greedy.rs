@@ -11,7 +11,20 @@
 //! (property-tested here against an exact matcher).
 
 use hetnet::UserId;
+use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
+
+/// Descending score order with NaN **last**: any real score outranks NaN,
+/// and NaNs tie among themselves. `partial_cmp(..).expect(..)` here would
+/// take down a whole selection round on one degenerate score.
+fn cmp_scores_desc(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater, // NaN sorts after b
+        (false, true) => Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
 
 /// Result of a greedy selection round.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,17 +65,14 @@ pub fn greedy_select(
         fixed.insert(i);
     }
 
-    // Free links above threshold, by descending score; ties break by index
-    // for determinism.
+    // Free links above threshold, by descending score with NaN last (as
+    // `eval::ranking` orders reports — a NaN score from a degenerate fit
+    // must not poison the order or panic a sweep); ties break by index for
+    // determinism.
     let mut order: Vec<usize> = (0..candidates.len())
         .filter(|i| !fixed.contains(i) && scores[*i] > threshold)
         .collect();
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .expect("scores are finite")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| cmp_scores_desc(scores[a], scores[b]).then(a.cmp(&b)));
 
     let mut weight = 0.0;
     for i in order {
@@ -214,6 +224,29 @@ mod tests {
         assert_eq!(a, b);
         // Lower index wins the tie.
         assert_eq!(a.labels, vec![1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn nan_scores_never_poison_selection_or_panic() {
+        // A NaN score sits between two real candidates sharing endpoints
+        // with it; selection must ignore it (NaN > threshold is false) and
+        // the real scores must keep their descending order.
+        let cands = c(&[(0, 0), (0, 1), (1, 1), (2, 2)]);
+        let scores = vec![0.9, f64::NAN, 0.8, f64::NAN];
+        let sel = greedy_select(&scores, &cands, &[], &[], 0.5);
+        assert_eq!(sel.labels, vec![1.0, 0.0, 1.0, 0.0]);
+        // The comparator itself orders NaN last and never panics.
+        assert_eq!(cmp_scores_desc(1.0, 0.5), Ordering::Less);
+        assert_eq!(
+            cmp_scores_desc(f64::NAN, f64::NEG_INFINITY),
+            Ordering::Greater
+        );
+        assert_eq!(cmp_scores_desc(f64::NEG_INFINITY, f64::NAN), Ordering::Less);
+        assert_eq!(cmp_scores_desc(f64::NAN, f64::NAN), Ordering::Equal);
+        // Even a NaN threshold (every comparison false) must not panic —
+        // nothing passes the filter, nothing is selected.
+        let sel = greedy_select(&scores, &cands, &[], &[], f64::NAN);
+        assert!(sel.labels.iter().all(|&l| l == 0.0));
     }
 
     #[test]

@@ -1,14 +1,28 @@
 //! Per-round recount cost of the session-driven active loop: the sparse
 //! low-rank delta path (`C += L·ΔA·R`) against a full recount of the
-//! anchor-dependent chains, at several confirmed-batch sizes and scales.
+//! anchor-dependent chains, at several confirmed-batch sizes and scales —
+//! plus the downstream **proximity-refresh dimension**: with counting held
+//! on the delta path, the touched-row/col Dice patch
+//! (`ProximityRefresh::Delta` over maintained `MarginSums`) against the
+//! full per-matrix re-normalization (`ProximityRefresh::Full`).
 //!
-//! The acceptance bar of the session redesign: per-round wall-clock of the
-//! delta path no worse than the full-recount path at any batch size, with
-//! bit-identical results (asserted here on every iteration's setup).
+//! The acceptance bars: per-round wall-clock of the delta path no worse
+//! than the full-recount path at any batch size, the delta proximity
+//! refresh no worse than the full re-normalization, and bit-identical
+//! results on every path (asserted here on every scenario's setup).
+//!
+//! Besides the criterion groups, this bench writes
+//! `BENCH_session_delta.json` (tiny scenario, mean wall-clock per policy ×
+//! batch size) so the perf-trajectory gate tracks the refresh cost across
+//! runs. Set `SESSION_DELTA_RECORD_ONLY=1` to skip the criterion groups
+//! and only write the record (the CI perf-trajectory step does this).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::record::BenchRecorder;
+use criterion::{criterion_group, BatchSize, BenchmarkId, Criterion};
+use eval::MetricSummary;
 use hetnet::AnchorLink;
-use session::SessionBuilder;
+use session::{ProximityRefresh, SessionBuilder};
+use std::time::{Duration, Instant};
 
 struct Scenario {
     world: datagen::GeneratedWorld,
@@ -41,6 +55,24 @@ fn open(s: &Scenario) -> session::AlignmentSession<session::Featurized> {
         .featurize(s.candidates.clone())
 }
 
+/// The refresh policies must be bit-identical; only the cost differs.
+fn assert_policies_agree(s: &Scenario) {
+    let batch = &s.held_out[..5.min(s.held_out.len())];
+    let mut delta = open(s);
+    let mut full = open(s);
+    delta.update_anchors(batch).unwrap();
+    full.recount_anchors(batch).unwrap();
+    assert_eq!(delta.features().x.data(), full.features().x.data());
+    let mut prox_full = open(s);
+    prox_full
+        .update_anchors_with(batch, ProximityRefresh::Full)
+        .unwrap();
+    assert_eq!(delta.features().x.data(), prox_full.features().x.data());
+    for i in 0..delta.catalog().len() {
+        assert_eq!(delta.proximity_of(i), prox_full.proximity_of(i));
+    }
+}
+
 fn bench_round_recount(c: &mut Criterion) {
     let mut group = c.benchmark_group("session_round_recount");
     group.sample_size(10);
@@ -49,37 +81,32 @@ fn bench_round_recount(c: &mut Criterion) {
         ("table4", datagen::presets::paper_scale(200, 5)),
     ] {
         let s = scenario(&cfg);
-        // One-time equality check: a delta round and a full round produce
-        // bit-identical features.
-        {
-            let mut delta = open(&s);
-            let mut full = open(&s);
-            let batch = &s.held_out[..5.min(s.held_out.len())];
-            delta.update_anchors(batch).unwrap();
-            full.recount_anchors(batch).unwrap();
-            assert_eq!(delta.features().x.data(), full.features().x.data());
-        }
+        assert_policies_agree(&s);
         let base = open(&s);
         for batch_size in [1usize, 5, 20] {
             let batch: Vec<AnchorLink> = s.held_out[..batch_size.min(s.held_out.len())].to_vec();
+            // The session clone is per-iteration setup, not measured work
+            // — timing it would dilute the delta-vs-full gap.
             group.bench_with_input(
                 BenchmarkId::new(format!("delta/b{batch_size}"), scale),
                 &(),
                 |b, _| {
-                    b.iter(|| {
-                        let mut session = base.clone();
-                        session.update_anchors(&batch).unwrap()
-                    })
+                    b.iter_batched(
+                        || base.clone(),
+                        |mut session| session.update_anchors(&batch).unwrap(),
+                        BatchSize::LargeInput,
+                    )
                 },
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("full/b{batch_size}"), scale),
                 &(),
                 |b, _| {
-                    b.iter(|| {
-                        let mut session = base.clone();
-                        session.recount_anchors(&batch).unwrap()
-                    })
+                    b.iter_batched(
+                        || base.clone(),
+                        |mut session| session.recount_anchors(&batch).unwrap(),
+                        BatchSize::LargeInput,
+                    )
                 },
             );
         }
@@ -87,5 +114,102 @@ fn bench_round_recount(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round_recount);
-criterion_main!(benches);
+/// The proximity-refresh dimension in isolation: counting stays on the
+/// delta path in both arms; only the Dice normalization differs — the
+/// touched-region patch against the full `O(nnz)` rescan of every changed
+/// matrix. The gap is the tentpole's win and must grow with matrix size,
+/// not with batch size.
+fn bench_prox_refresh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_prox_refresh");
+    group.sample_size(10);
+    for (scale, cfg) in [
+        ("small", datagen::presets::small(5)),
+        ("table4", datagen::presets::paper_scale(200, 5)),
+    ] {
+        let s = scenario(&cfg);
+        let base = open(&s);
+        for batch_size in [1usize, 5, 20] {
+            let batch: Vec<AnchorLink> = s.held_out[..batch_size.min(s.held_out.len())].to_vec();
+            for (label, policy) in [
+                ("prox-delta", ProximityRefresh::Delta),
+                ("prox-full", ProximityRefresh::Full),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{label}/b{batch_size}"), scale),
+                    &(),
+                    |b, _| {
+                        b.iter_batched(
+                            || base.clone(),
+                            |mut session| session.update_anchors_with(&batch, policy).unwrap(),
+                            BatchSize::LargeInput,
+                        )
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+/// Mean wall-clock of one measured round (the session clone is excluded).
+fn time_rounds(
+    base: &session::AlignmentSession<session::Featurized>,
+    batch: &[AnchorLink],
+    policy: ProximityRefresh,
+    samples: usize,
+) -> Duration {
+    let mut total = Duration::ZERO;
+    for _ in 0..samples {
+        let mut session = base.clone();
+        let start = Instant::now();
+        session.update_anchors_with(batch, policy).unwrap();
+        total += start.elapsed();
+    }
+    total / samples as u32
+}
+
+/// Writes `BENCH_session_delta.json`: the proximity-refresh metric the
+/// perf-trajectory gate carries forward (tiny scenario — CI-sized).
+fn write_prox_refresh_record() {
+    let s = scenario(&datagen::presets::tiny(5));
+    assert_policies_agree(&s);
+    let base = open(&s);
+    let mut recorder = BenchRecorder::new("session_delta");
+    recorder.annotate("scale", "tiny");
+    recorder.annotate("dimension", "proximity-refresh");
+    let no_f1 = MetricSummary {
+        mean: f64::NAN,
+        std: 0.0,
+    };
+    for batch_size in [1usize, 5, 20] {
+        let batch: Vec<AnchorLink> = s.held_out[..batch_size.min(s.held_out.len())].to_vec();
+        for (method, policy) in [
+            ("prox-delta", ProximityRefresh::Delta),
+            ("prox-full", ProximityRefresh::Full),
+        ] {
+            let mean = time_rounds(&base, &batch, policy, 20);
+            recorder.record(method, format!("b{batch_size}"), no_f1, mean);
+        }
+    }
+    // Benches run with the package as CWD; the perf gate reads records
+    // from the workspace root, where the table bins drop theirs.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate sits two levels under the workspace root");
+    let path = recorder
+        .write_to(root)
+        .expect("BENCH_session_delta.json written");
+    println!("wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_round_recount, bench_prox_refresh);
+
+// Custom entry point instead of `criterion_main!`: after the groups run,
+// the proximity-refresh record is written for the perf-trajectory gate.
+fn main() {
+    if std::env::var_os("SESSION_DELTA_RECORD_ONLY").is_none() {
+        benches();
+    }
+    write_prox_refresh_record();
+}

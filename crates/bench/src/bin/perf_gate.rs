@@ -8,10 +8,13 @@
 //!
 //! A cell regresses when its fresh wall-clock exceeds the baseline by more
 //! than `tolerance` (relative) **and** by more than `slack-ms` (absolute —
-//! sub-millisecond cells on shared CI runners are pure noise). Cells
-//! missing from the baseline (new benches, renamed methods) are reported
-//! but never fail the gate; F1 drift is reported as context. Exit code 1
-//! when any cell regresses.
+//! sub-millisecond cells on shared CI runners are pure noise). Unknown
+//! keys are **recorded, never failed**: cells missing from the baseline
+//! (new benches, new metrics, renamed methods) are reported as new, a
+//! missing or empty baseline directory (cold CI cache, first run on a
+//! branch) gates nothing — the fresh records simply become the next
+//! baseline. F1 drift is reported as context. Exit code 1 when any cell
+//! regresses.
 //!
 //! The records are the flat documents written by [`bench::BenchRecorder`];
 //! the vendored serde stand-in has no deserializer, so the fields are
@@ -74,8 +77,15 @@ fn parse_record(path: &Path, into: &mut Records) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Loads every `BENCH_*.json` under `dir`. A directory that does not
+/// exist yields an **empty** record set, not an error: a cold CI cache has
+/// no baseline directory at all, and "no baseline" must mean "record,
+/// don't fail", exactly like an unknown cell key.
 fn load_dir(dir: &Path) -> std::io::Result<Records> {
     let mut records = Records::new();
+    if !dir.exists() {
+        return Ok(records);
+    }
     for entry in std::fs::read_dir(dir)? {
         let path = entry?.path();
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
@@ -84,6 +94,70 @@ fn load_dir(dir: &Path) -> std::io::Result<Records> {
         }
     }
     Ok(records)
+}
+
+/// What one gate run concluded.
+#[derive(Debug, Default)]
+struct GateReport {
+    /// Keys that regressed beyond tolerance + slack.
+    regressions: Vec<(String, String, String)>,
+    /// Keys compared against a baseline cell.
+    compared: usize,
+    /// Fresh keys with no baseline cell — recorded, never failed.
+    new_cells: usize,
+    /// Human-readable findings, one line each.
+    lines: Vec<String>,
+}
+
+/// Pure gating logic: diffs `fresh` against `baseline`. An empty baseline
+/// (cold cache) or a fresh key absent from the baseline (a brand-new bench
+/// metric) never produces a regression.
+fn gate(baseline: &Records, fresh: &Records, tolerance: f64, slack_ms: f64) -> GateReport {
+    let mut report = GateReport::default();
+    for (key, fresh_cell) in fresh {
+        let Some(base_cell) = baseline.get(key) else {
+            report.new_cells += 1;
+            report.lines.push(format!(
+                "new cell (no baseline): {}/{}/{} at {:.1} ms",
+                key.0, key.1, key.2, fresh_cell.wall_ms
+            ));
+            continue;
+        };
+        report.compared += 1;
+        let (b, f) = (base_cell.wall_ms, fresh_cell.wall_ms);
+        let regressed = f > b * (1.0 + tolerance) && f > b + slack_ms;
+        let marker = if regressed { "REGRESSION" } else { "ok" };
+        if regressed || f > b * (1.0 + tolerance / 2.0) {
+            report.lines.push(format!(
+                "{marker}: {}/{}/{}  {:.1} ms -> {:.1} ms ({:+.0}%)",
+                key.0,
+                key.1,
+                key.2,
+                b,
+                f,
+                (f / b - 1.0) * 100.0
+            ));
+        }
+        if let (Some(bf1), Some(ff1)) = (base_cell.f1_mean, fresh_cell.f1_mean) {
+            if (bf1 - ff1).abs() > 1e-9 {
+                report.lines.push(format!(
+                    "note: F1 drift on {}/{}/{}: {bf1} -> {ff1}",
+                    key.0, key.1, key.2
+                ));
+            }
+        }
+        if regressed {
+            report.regressions.push(key.clone());
+        }
+    }
+    for key in baseline.keys() {
+        if !fresh.contains_key(key) {
+            report
+                .lines
+                .push(format!("cell vanished: {}/{}/{}", key.0, key.1, key.2));
+        }
+    }
+    report
 }
 
 struct Opts {
@@ -154,61 +228,91 @@ fn main() -> ExitCode {
         }
     };
     if baseline.is_empty() {
-        println!("perf_gate: baseline is empty — nothing to gate against (first run?)");
+        println!(
+            "perf_gate: baseline is empty or missing — nothing to gate against \
+             (cold cache / first run); recording fresh cells only"
+        );
         return ExitCode::SUCCESS;
     }
 
-    let mut regressions = Vec::new();
-    let mut compared = 0usize;
-    for (key, fresh_cell) in &fresh {
-        let Some(base_cell) = baseline.get(key) else {
-            println!(
-                "  new cell (no baseline): {}/{}/{} at {:.1} ms",
-                key.0, key.1, key.2, fresh_cell.wall_ms
-            );
-            continue;
-        };
-        compared += 1;
-        let (b, f) = (base_cell.wall_ms, fresh_cell.wall_ms);
-        let regressed = f > b * (1.0 + opts.tolerance) && f > b + opts.slack_ms;
-        let marker = if regressed { "REGRESSION" } else { "ok" };
-        if regressed || f > b * (1.0 + opts.tolerance / 2.0) {
-            println!(
-                "  {marker}: {}/{}/{}  {:.1} ms -> {:.1} ms ({:+.0}%)",
-                key.0,
-                key.1,
-                key.2,
-                b,
-                f,
-                (f / b - 1.0) * 100.0
-            );
-        }
-        if let (Some(bf1), Some(ff1)) = (base_cell.f1_mean, fresh_cell.f1_mean) {
-            if (bf1 - ff1).abs() > 1e-9 {
-                println!(
-                    "  note: F1 drift on {}/{}/{}: {bf1} -> {ff1}",
-                    key.0, key.1, key.2
-                );
-            }
-        }
-        if regressed {
-            regressions.push(key.clone());
-        }
-    }
-    for key in baseline.keys() {
-        if !fresh.contains_key(key) {
-            println!("  cell vanished: {}/{}/{}", key.0, key.1, key.2);
-        }
+    let report = gate(&baseline, &fresh, opts.tolerance, opts.slack_ms);
+    for line in &report.lines {
+        println!("  {line}");
     }
     println!(
-        "perf_gate: compared {compared} cells (tolerance {:.0}% + {:.0} ms slack): {} regression(s)",
+        "perf_gate: compared {} cells, {} new (tolerance {:.0}% + {:.0} ms slack): {} regression(s)",
+        report.compared,
+        report.new_cells,
         opts.tolerance * 100.0,
         opts.slack_ms,
-        regressions.len()
+        report.regressions.len()
     );
-    if regressions.is_empty() {
+    if report.regressions.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(wall_ms: f64) -> Cell {
+        Cell {
+            f1_mean: Some(0.5),
+            wall_ms,
+        }
+    }
+
+    fn key(s: &str) -> (String, String, String) {
+        ("b".into(), "m".into(), s.into())
+    }
+
+    #[test]
+    fn cold_start_missing_baseline_dir_loads_empty() {
+        let dir = std::env::temp_dir().join("perf_gate_cold_start_does_not_exist");
+        assert!(!dir.exists());
+        let records = load_dir(&dir).expect("missing dir is a cold cache, not an error");
+        assert!(records.is_empty(), "cold start must gate nothing");
+    }
+
+    #[test]
+    fn unknown_fresh_keys_are_recorded_not_failed() {
+        let mut baseline = Records::new();
+        baseline.insert(key("old"), cell(10.0));
+        let mut fresh = Records::new();
+        fresh.insert(key("old"), cell(10.5));
+        // A brand-new metric (e.g. a proximity-refresh bench cell).
+        fresh.insert(key("prox-delta/b5"), cell(3.0));
+        let report = gate(&baseline, &fresh, 0.5, 15.0);
+        assert!(report.regressions.is_empty());
+        assert_eq!(report.compared, 1);
+        assert_eq!(report.new_cells, 1);
+        assert!(report.lines.iter().any(|l| l.contains("new cell")));
+    }
+
+    #[test]
+    fn real_regressions_still_fail() {
+        let mut baseline = Records::new();
+        baseline.insert(key("hot"), cell(100.0));
+        let mut fresh = Records::new();
+        fresh.insert(key("hot"), cell(400.0));
+        let report = gate(&baseline, &fresh, 0.5, 15.0);
+        assert_eq!(report.regressions, vec![key("hot")]);
+        assert!(report.lines.iter().any(|l| l.contains("REGRESSION")));
+        // Within slack: sub-slack absolute growth is noise, never a failure.
+        let mut fresh = Records::new();
+        fresh.insert(key("hot"), cell(110.0));
+        assert!(gate(&baseline, &fresh, 0.5, 15.0).regressions.is_empty());
+    }
+
+    #[test]
+    fn vanished_cells_are_reported_without_failing() {
+        let mut baseline = Records::new();
+        baseline.insert(key("gone"), cell(10.0));
+        let report = gate(&baseline, &Records::new(), 0.5, 15.0);
+        assert!(report.regressions.is_empty());
+        assert!(report.lines.iter().any(|l| l.contains("cell vanished")));
     }
 }

@@ -22,6 +22,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use session::SessionBuilder;
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
@@ -65,7 +66,8 @@ pub struct ConsistencyReport {
 pub struct MultiSpec {
     /// NP-ratio for the pairwise candidate sets.
     pub np_ratio: usize,
-    /// Fraction of each pair's anchors revealed as training labels.
+    /// Fraction of each pair's anchors revealed as training labels; must
+    /// lie in `(0, 1]` ([`MultiSpec::validate`]).
     pub train_fraction: f64,
     /// Query budget per pair.
     pub budget: usize,
@@ -73,6 +75,42 @@ pub struct MultiSpec {
     pub seed: u64,
     /// Worker-thread budget for per-pair feature extraction (`0` = auto).
     pub threads: usize,
+}
+
+/// A [`MultiSpec`] that cannot be run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MultiSpecError {
+    /// `train_fraction` outside `(0, 1]` (or NaN). Values above 1 would
+    /// ask for more training anchors than the pool holds; 0 or below
+    /// trains on nothing.
+    TrainFraction(f64),
+}
+
+impl fmt::Display for MultiSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiSpecError::TrainFraction(v) => {
+                write!(f, "train_fraction {v} outside (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiSpecError {}
+
+impl MultiSpec {
+    /// Checks the spec is runnable. Called by [`align_all_pairs`] /
+    /// [`for_each_pair_alignment`] before any work starts.
+    ///
+    /// # Errors
+    /// [`MultiSpecError::TrainFraction`] when `train_fraction` is NaN or
+    /// outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), MultiSpecError> {
+        if !(self.train_fraction > 0.0 && self.train_fraction <= 1.0) {
+            return Err(MultiSpecError::TrainFraction(self.train_fraction));
+        }
+        Ok(())
+    }
 }
 
 impl Default for MultiSpec {
@@ -182,14 +220,19 @@ impl Drop for Permit<'_> {
 /// fit), and sends the result to the reordering consumer. Whatever budget
 /// the pair layer leaves unused flows into each pair's feature extraction.
 /// Results are bit-identical at any thread budget.
+///
+/// # Errors
+/// [`MultiSpecError`] when the spec is invalid ([`MultiSpec::validate`]);
+/// `sink` is never called in that case.
 pub fn for_each_pair_alignment(
     world: &MultiWorld,
     spec: &MultiSpec,
     mut sink: impl FnMut(PairAlignment),
-) {
+) -> Result<(), MultiSpecError> {
+    spec.validate()?;
     let pairs = world.pairs();
     if pairs.is_empty() {
-        return;
+        return Ok(());
     }
     let budget = effective_threads(spec.threads);
     let pair_workers = budget.min(pairs.len()).max(1);
@@ -198,7 +241,7 @@ pub fn for_each_pair_alignment(
         for &(a, b) in &pairs {
             sink(align_pair(world, a, b, spec, extract_threads));
         }
-        return;
+        return Ok(());
     }
     let next = AtomicUsize::new(0);
     let window = ClaimWindow::new(pair_workers * 2);
@@ -241,6 +284,7 @@ pub fn for_each_pair_alignment(
             }
         }
     });
+    Ok(())
 }
 
 /// Runs the pairwise pipeline on every pair of the collection.
@@ -252,10 +296,16 @@ pub fn for_each_pair_alignment(
 ///
 /// This collects everything [`for_each_pair_alignment`] streams — callers
 /// aligning large collections should prefer the streaming form.
-pub fn align_all_pairs(world: &MultiWorld, spec: &MultiSpec) -> MultiAlignment {
+///
+/// # Errors
+/// [`MultiSpecError`] when the spec is invalid; no pair runs in that case.
+pub fn align_all_pairs(
+    world: &MultiWorld,
+    spec: &MultiSpec,
+) -> Result<MultiAlignment, MultiSpecError> {
     let mut links = Vec::new();
-    for_each_pair_alignment(world, spec, |pair| links.extend(pair.links));
-    MultiAlignment { links }
+    for_each_pair_alignment(world, spec, |pair| links.extend(pair.links))?;
+    Ok(MultiAlignment { links })
 }
 
 /// The per-pair pipeline: sample training anchors, build the candidate
@@ -275,8 +325,10 @@ fn align_pair(
     let mut rng = StdRng::seed_from_u64(spec.seed ^ ((a as u64) << 32 | b as u64));
     let mut anchor_pool: Vec<hetnet::AnchorLink> = truth.links().to_vec();
     anchor_pool.shuffle(&mut rng);
+    // Ceil can round past the pool (train_fraction == 1.0 exactly hits it,
+    // float round-up can overshoot it); never index beyond what exists.
     let n_train = ((anchor_pool.len() as f64) * spec.train_fraction).ceil() as usize;
-    let train = &anchor_pool[..n_train.max(1)];
+    let train = &anchor_pool[..n_train.max(1).min(anchor_pool.len())];
 
     // Candidate set: all anchors + sampled negatives (reuse the pairwise
     // LinkSet machinery through a lightweight shim world).
@@ -490,16 +542,50 @@ mod tests {
 
     fn aligned() -> (datagen::MultiWorld, MultiAlignment) {
         let world = datagen::generate_multi(&presets::tiny(7), 3);
-        let alignment = align_all_pairs(&world, &spec());
+        let alignment = align_all_pairs(&world, &spec()).unwrap();
         (world, alignment)
+    }
+
+    #[test]
+    fn invalid_train_fractions_are_rejected_before_any_work() {
+        let world = datagen::generate_multi(&presets::tiny(7), 2);
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let spec = MultiSpec {
+                train_fraction: bad,
+                ..spec()
+            };
+            let err = spec.validate().unwrap_err();
+            assert!(matches!(err, MultiSpecError::TrainFraction(_)));
+            assert!(err.to_string().contains("train_fraction"));
+            assert!(align_all_pairs(&world, &spec).is_err());
+            let mut called = false;
+            assert!(for_each_pair_alignment(&world, &spec, |_| called = true).is_err());
+            assert!(!called, "sink ran despite an invalid spec");
+        }
+    }
+
+    #[test]
+    fn full_train_fraction_clamps_to_the_anchor_pool() {
+        // γ = 1.0: ceil lands exactly on pool.len(); must not index past
+        // it (the pre-clamp code sliced `[..n_train]` unchecked).
+        let world = datagen::generate_multi(&presets::tiny(5), 2);
+        let alignment = align_all_pairs(
+            &world,
+            &MultiSpec {
+                train_fraction: 1.0,
+                ..spec()
+            },
+        )
+        .unwrap();
+        assert!(!alignment.links.is_empty());
     }
 
     #[test]
     fn streaming_emits_pairs_in_order_and_matches_the_collector() {
         let world = datagen::generate_multi(&presets::tiny(7), 3);
-        let collected = align_all_pairs(&world, &spec());
+        let collected = align_all_pairs(&world, &spec()).unwrap();
         let mut streamed: Vec<PairAlignment> = Vec::new();
-        for_each_pair_alignment(&world, &spec(), |pa| streamed.push(pa));
+        for_each_pair_alignment(&world, &spec(), |pa| streamed.push(pa)).unwrap();
         // Pairs arrive in world.pairs() order despite sharded execution.
         let order: Vec<(usize, usize)> = streamed.iter().map(|p| p.nets).collect();
         assert_eq!(order, world.pairs());
@@ -519,14 +605,16 @@ mod tests {
                 threads: 1,
                 ..spec()
             },
-        );
+        )
+        .unwrap();
         let auto = align_all_pairs(
             &world,
             &MultiSpec {
                 threads: 0,
                 ..spec()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(serial.links.len(), auto.links.len());
         for (a, b) in serial.links.iter().zip(auto.links.iter()) {
             assert_eq!(a, b);

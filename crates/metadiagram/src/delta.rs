@@ -23,7 +23,10 @@ use crate::count::{CountEngine, EngineError};
 use crate::covering::plan_levels;
 use crate::diagram::Diagram;
 use hetnet::{AnchorLink, HetNet};
-use sparsela::{spgemm_lowrank, spgemm_threaded, Accumulator, CooMatrix, CsrMatrix, Threading};
+use sparsela::{
+    spgemm_lowrank_with_sums, spgemm_threaded, Accumulator, CooMatrix, CsrMatrix, MarginSums,
+    Threading,
+};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -66,16 +69,103 @@ pub struct DeltaStats {
     pub anchors_applied: usize,
 }
 
+/// The rows and columns of a count matrix that an update touched —
+/// sorted ascending, duplicate-free. Rows outside `rows` kept their
+/// pattern and row sum; columns outside `cols` kept their column sum.
+/// Regions may overapproximate (claim more than actually changed); they
+/// must never underapproximate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TouchedRegion {
+    /// Touched row indices, sorted.
+    pub rows: Vec<usize>,
+    /// Touched column indices, sorted.
+    pub cols: Vec<usize>,
+}
+
+impl TouchedRegion {
+    /// The region covering exactly the stored entries of `delta`.
+    fn of_pattern(delta: &CsrMatrix) -> Self {
+        let rows: Vec<usize> = (0..delta.nrows())
+            .filter(|&i| delta.row_nnz(i) > 0)
+            .collect();
+        let mut cols: Vec<usize> = delta.indices().to_vec();
+        cols.sort_unstable();
+        cols.dedup();
+        TouchedRegion { rows, cols }
+    }
+
+    /// Merges another region into this one (sorted-set union).
+    fn absorb(&mut self, other: &TouchedRegion) {
+        fn union_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+            let mut out = Vec::with_capacity(a.len() + b.len());
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() || j < b.len() {
+                match (a.get(i), b.get(j)) {
+                    (Some(&x), Some(&y)) if x == y => {
+                        out.push(x);
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(&x), Some(&y)) if x < y => {
+                        out.push(x);
+                        i += 1;
+                    }
+                    (Some(_), Some(&y)) => {
+                        out.push(y);
+                        j += 1;
+                    }
+                    (Some(&x), None) => {
+                        out.push(x);
+                        i += 1;
+                    }
+                    (None, Some(&y)) => {
+                        out.push(y);
+                        j += 1;
+                    }
+                    (None, None) => unreachable!("loop condition"),
+                }
+            }
+            out
+        }
+        self.rows = union_sorted(&self.rows, &other.rows);
+        self.cols = union_sorted(&self.cols, &other.cols);
+    }
+
+    /// True when nothing was touched.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty() && self.cols.is_empty()
+    }
+}
+
+/// One catalog feature whose count matrix changed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangedCount {
+    /// Catalog position of the changed count matrix.
+    pub catalog_pos: usize,
+    /// Where the change landed. `Some` on the incremental path — downstream
+    /// layers refresh only this region; `None` on the full-recount path
+    /// (treat the whole matrix as touched).
+    pub touched: Option<TouchedRegion>,
+}
+
 /// What an anchor update changed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeltaOutcome {
     /// Genuinely new anchors merged (duplicates and already-present links
     /// are skipped silently).
     pub applied: usize,
-    /// Catalog positions whose count matrices changed, in catalog order.
+    /// Catalog positions whose count matrices changed, in catalog order,
+    /// each with the touched row/col sets when the update was incremental.
     /// Anchor-free features (attribute paths and their middle-stackings)
     /// never appear here — downstream layers can skip re-deriving them.
-    pub changed: Vec<usize>,
+    pub changed: Vec<ChangedCount>,
+}
+
+impl DeltaOutcome {
+    /// The changed catalog positions alone, in catalog order.
+    pub fn changed_positions(&self) -> Vec<usize> {
+        self.changed.iter().map(|c| c.catalog_pos).collect()
+    }
 }
 
 /// The anchor-chain factorization `C = L·A·R`, with `Lᵀ` cached for the
@@ -115,6 +205,9 @@ pub struct DeltaCatalogCounts {
     order: Vec<Diagram>,
     kinds: Vec<NodeKind>,
     counts: Vec<CsrMatrix>,
+    /// Row/column margins of every materialized count, maintained
+    /// incrementally alongside `counts` (the Dice denominators).
+    sums: Vec<MarginSums>,
     /// Catalog position → index into `order`/`counts`.
     catalog_pos: Vec<usize>,
     threading: Threading,
@@ -186,6 +279,7 @@ impl DeltaCatalogCounts {
             order: Vec::new(),
             kinds: Vec::new(),
             counts: Vec::new(),
+            sums: Vec::new(),
             catalog_pos: Vec::with_capacity(catalog.len()),
             threading,
             stats: DeltaStats {
@@ -230,6 +324,7 @@ impl DeltaCatalogCounts {
         let i = self.order.len();
         self.order.push(diagram.clone());
         self.kinds.push(kind);
+        self.sums.push(MarginSums::of(&count));
         self.counts.push(count);
         index.insert(diagram.clone(), i);
         i
@@ -258,6 +353,13 @@ impl DeltaCatalogCounts {
     /// The count matrix of catalog feature `i` (catalog order).
     pub fn catalog_count(&self, i: usize) -> &CsrMatrix {
         &self.counts[self.catalog_pos[i]]
+    }
+
+    /// The incrementally maintained row/column margins of catalog feature
+    /// `i`'s count matrix — always bit-equal to a fresh
+    /// `MarginSums::of(catalog_count(i))`, without the rescan.
+    pub fn catalog_sums(&self, i: usize) -> &MarginSums {
+        &self.sums[self.catalog_pos[i]]
     }
 
     /// Work counters.
@@ -360,19 +462,40 @@ impl DeltaCatalogCounts {
 
     /// One propagation pass in dependency order. `delta` selects the
     /// incremental path; `None` recomputes chains from the merged anchors.
-    /// Returns the changed catalog positions.
-    fn repropagate(&mut self, delta: Option<&CsrMatrix>) -> Vec<usize> {
+    /// Returns the changed catalog entries, with per-entry touched regions
+    /// on the incremental path.
+    ///
+    /// The incremental path also maintains every changed matrix's
+    /// [`MarginSums`] (anchor chains fold in the low-rank product's
+    /// margins; re-Hadamarded stacks exchange exactly their touched rows)
+    /// and repairs count-invariant residue: a low-rank update that leaves
+    /// explicit zeros or negative round-off in the merged CSR is pruned
+    /// back to the strictly positive entries, so delta-updated counts keep
+    /// the exact nnz pattern a full recount would produce.
+    fn repropagate(&mut self, delta: Option<&CsrMatrix>) -> Vec<ChangedCount> {
+        let mut touched: Vec<Option<TouchedRegion>> = vec![None; self.order.len()];
         let mut changed = vec![false; self.order.len()];
         for i in 0..self.order.len() {
             match &self.kinds[i] {
                 NodeKind::AnchorChain(chain) => {
-                    self.counts[i] = match delta {
+                    match delta {
                         Some(d) => {
-                            let dc = spgemm_lowrank(&chain.lt, d, &chain.r)
-                                .expect("factor chain shapes are consistent");
-                            self.counts[i]
+                            let dc =
+                                spgemm_lowrank_with_sums(&chain.lt, d, &chain.r, &mut self.sums[i])
+                                    .expect("factor chain shapes are consistent");
+                            touched[i] = Some(TouchedRegion::of_pattern(&dc));
+                            let merged = self.counts[i]
                                 .add(&dc)
-                                .expect("delta count shares the count shape")
+                                .expect("delta count shares the count shape");
+                            self.counts[i] = match merged.positive_part() {
+                                // Residue dropped: the maintained sums no
+                                // longer match entry-for-entry — rescan.
+                                Some(clean) => {
+                                    self.sums[i] = MarginSums::of(&clean);
+                                    clean
+                                }
+                                None => merged,
+                            };
                         }
                         None => {
                             let la = spgemm_threaded(
@@ -382,10 +505,12 @@ impl DeltaCatalogCounts {
                                 self.threading,
                             )
                             .expect("factor chain shapes are consistent");
-                            spgemm_threaded(&la, &chain.r, Accumulator::Auto, self.threading)
-                                .expect("factor chain shapes are consistent")
+                            self.counts[i] =
+                                spgemm_threaded(&la, &chain.r, Accumulator::Auto, self.threading)
+                                    .expect("factor chain shapes are consistent");
+                            self.sums[i] = MarginSums::of(&self.counts[i]);
                         }
-                    };
+                    }
                     changed[i] = true;
                 }
                 NodeKind::AnchorFree => {}
@@ -397,7 +522,25 @@ impl DeltaCatalogCounts {
                                 .hadamard(&self.counts[p])
                                 .expect("stack factors share the count shape");
                         }
+                        if delta.is_some() {
+                            // A stack entry can only change where one of
+                            // its parts changed, so the union of the
+                            // parts' regions covers the stack's own.
+                            let mut region = TouchedRegion::default();
+                            for &p in parts.iter() {
+                                if let Some(part_region) = &touched[p] {
+                                    region.absorb(part_region);
+                                }
+                            }
+                            self.sums[i]
+                                .rewrite_rows(&self.counts[i], &acc, &region.rows)
+                                .expect("stack shares the count shape");
+                            touched[i] = Some(region);
+                        }
                         self.counts[i] = acc;
+                        if delta.is_none() {
+                            self.sums[i] = MarginSums::of(&self.counts[i]);
+                        }
                         changed[i] = true;
                     }
                 }
@@ -407,7 +550,10 @@ impl DeltaCatalogCounts {
             .iter()
             .enumerate()
             .filter(|&(_, &ord)| changed[ord])
-            .map(|(cat, _)| cat)
+            .map(|(cat, &ord)| ChangedCount {
+                catalog_pos: cat,
+                touched: touched[ord].clone(),
+            })
             .collect()
     }
 }
@@ -496,12 +642,98 @@ mod tests {
         let mut full = store(&w, &initial);
         let o1 = delta.update_anchors(&held_out).unwrap();
         let o2 = full.recount_anchors(&held_out).unwrap();
-        assert_eq!(o1, o2);
+        assert_eq!(o1.applied, o2.applied);
+        assert_eq!(o1.changed_positions(), o2.changed_positions());
+        // The incremental path knows where it landed; the recount doesn't.
+        assert!(o1.changed.iter().all(|c| c.touched.is_some()));
+        assert!(o2.changed.iter().all(|c| c.touched.is_none()));
         for i in 0..delta.len() {
             assert_eq!(delta.catalog_count(i), full.catalog_count(i));
+            assert_eq!(delta.catalog_sums(i), full.catalog_sums(i));
         }
         assert_eq!(full.stats().full_counts, 2);
         assert_eq!(full.stats().delta_updates, 0);
+    }
+
+    #[test]
+    fn maintained_sums_match_a_rescan_after_updates() {
+        let w = world();
+        let (initial, held_out) = split_links(&w);
+        let mut s = store(&w, &initial);
+        for i in 0..s.len() {
+            assert!(s.catalog_sums(i).matches(s.catalog_count(i)));
+        }
+        for batch in held_out.chunks(5) {
+            s.update_anchors(batch).unwrap();
+            for i in 0..s.len() {
+                assert!(
+                    s.catalog_sums(i).matches(s.catalog_count(i)),
+                    "margins of catalog entry {i} drifted from the counts"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn touched_regions_cover_every_actual_change() {
+        let w = world();
+        let (initial, held_out) = split_links(&w);
+        let mut s = store(&w, &initial);
+        let before: Vec<CsrMatrix> = (0..s.len()).map(|i| s.catalog_count(i).clone()).collect();
+        let outcome = s.update_anchors(&held_out[..4]).unwrap();
+        for chg in &outcome.changed {
+            let region = chg.touched.as_ref().expect("delta path reports regions");
+            assert!(region.rows.windows(2).all(|w| w[0] < w[1]), "rows sorted");
+            assert!(region.cols.windows(2).all(|w| w[0] < w[1]), "cols sorted");
+            let (old, new) = (&before[chg.catalog_pos], s.catalog_count(chg.catalog_pos));
+            // Any entry differing between old and new must sit in a
+            // touched row; any column-sum difference in a touched col.
+            for i in 0..new.nrows() {
+                if region.rows.binary_search(&i).is_err() {
+                    let old_row: Vec<_> = old.row(i).collect();
+                    let new_row: Vec<_> = new.row(i).collect();
+                    assert_eq!(old_row, new_row, "row {i} changed outside the region");
+                }
+            }
+            let (old_cols, new_cols) = (old.col_sums(), new.col_sums());
+            for j in 0..new.ncols() {
+                if region.cols.binary_search(&j).is_err() {
+                    assert_eq!(old_cols[j], new_cols[j], "col {j} sum moved outside region");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_updated_counts_keep_the_full_recount_nnz_pattern() {
+        // The residue regression: low-rank updates must never leave
+        // explicit zeros or negative round-off in the merged CSR — the
+        // delta-updated pattern is identical to a from-scratch recount's.
+        let w = world();
+        let (initial, held_out) = split_links(&w);
+        let mut s = store(&w, &initial);
+        for batch in held_out.chunks(3) {
+            s.update_anchors(batch).unwrap();
+        }
+        let reference = reference_counts(&w, w.truth().links());
+        for (i, want) in reference.iter().enumerate() {
+            let got = s.catalog_count(i);
+            assert_eq!(got.nnz(), want.nnz(), "entry {i}: nnz drifted");
+            assert_eq!(
+                got.indptr(),
+                want.indptr(),
+                "entry {i}: row pattern drifted"
+            );
+            assert_eq!(
+                got.indices(),
+                want.indices(),
+                "entry {i}: col pattern drifted"
+            );
+            assert!(
+                got.values().iter().all(|&v| v > 0.0),
+                "entry {i}: non-positive residue survived"
+            );
+        }
     }
 
     #[test]
@@ -512,10 +744,11 @@ mod tests {
         let outcome = s.update_anchors(&held_out[..3]).unwrap();
         let catalog = Catalog::new(FeatureSet::Full);
         // P5, P6 and Ψ[P5×P6] never touch the anchor matrix.
+        let changed = outcome.changed_positions();
         for (i, entry) in catalog.entries().iter().enumerate() {
             let anchor_free = matches!(entry.diagram, Diagram::Attr(_) | Diagram::AttrPair(_, _));
             assert_eq!(
-                !outcome.changed.contains(&i),
+                !changed.contains(&i),
                 anchor_free,
                 "entry {} ({})",
                 i,

@@ -46,12 +46,14 @@ pub mod proximity;
 pub use catalog::{Catalog, CatalogEntry, FeatureSet};
 pub use count::{AttrCountStrategy, CountEngine};
 pub use covering::CoveringSet;
-pub use delta::{DeltaCatalogCounts, DeltaError, DeltaOutcome, DeltaStats};
+pub use delta::{
+    ChangedCount, DeltaCatalogCounts, DeltaError, DeltaOutcome, DeltaStats, TouchedRegion,
+};
 pub use diagram::{AttrPathId, Diagram, SocialPathId};
 pub use features::{
     extract_features, extract_features_par, gather_features, proximity_matrices,
     proximity_matrices_par, FeatureMatrix,
 };
 pub use path::{MetaPath, Step};
-pub use proximity::dice_proximity;
+pub use proximity::{dice_proximity, dice_proximity_delta, touch_is_dense};
 pub use sparsela::Threading;

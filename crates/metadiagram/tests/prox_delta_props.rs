@@ -1,0 +1,100 @@
+//! Property tests for the incremental Dice refresh: maintaining proximity
+//! matrices through [`dice_proximity_delta`] over the store's touched
+//! regions and maintained margins must be **bit-equal** to re-running the
+//! full [`dice_proximity`] pass after every update — across random `ΔA`
+//! batch shapes (truth links, arbitrary pairs, duplicates), build thread
+//! counts, and catalog slices (paths only, social stackings, attribute
+//! diagram, the full 31-feature catalog).
+
+use hetnet::aligned::anchor_matrix;
+use hetnet::{AnchorLink, UserId};
+use metadiagram::{
+    dice_proximity, dice_proximity_delta, Catalog, DeltaCatalogCounts, FeatureSet, Threading,
+};
+use proptest::prelude::*;
+use sparsela::CsrMatrix;
+
+fn world(seed: u64) -> datagen::GeneratedWorld {
+    datagen::generate(&datagen::presets::tiny(seed))
+}
+
+/// Random anchor batches: a mix of held-out ground-truth links and
+/// arbitrary user pairs, duplicates allowed on purpose (the counting
+/// algebra does not require anchors to be true or one-to-one).
+fn batches_strategy() -> impl Strategy<Value = Vec<Vec<(u32, u32)>>> {
+    proptest::collection::vec(proptest::collection::vec((0u32..38, 0u32..40), 1..8), 1..4)
+}
+
+fn feature_set(pick: u8) -> FeatureSet {
+    match pick % 4 {
+        0 => FeatureSet::MetaPathsOnly,
+        1 => FeatureSet::PathsAndSocialDiagrams,
+        2 => FeatureSet::PathsAndAttrDiagram,
+        _ => FeatureSet::Full,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn incremental_dice_refresh_is_bit_equal_to_full(
+        seed in 0u64..3,
+        initial_k in 1usize..20,
+        set_pick in 0u8..4,
+        batches in batches_strategy(),
+        threads in 1usize..4
+    ) {
+        let w = world(13 + seed * 5);
+        let initial: Vec<AnchorLink> = w.truth().links()[..initial_k].to_vec();
+        let base = anchor_matrix(w.left().n_users(), w.right().n_users(), &initial).unwrap();
+        let catalog = Catalog::new(feature_set(set_pick));
+        let mut store = DeltaCatalogCounts::build(
+            w.left(),
+            w.right(),
+            base,
+            &catalog,
+            Threading::Threads(threads),
+        )
+        .unwrap();
+
+        // Proximities maintained incrementally, one per catalog entry.
+        let mut proxies: Vec<CsrMatrix> = (0..store.len())
+            .map(|i| dice_proximity(store.catalog_count(i)))
+            .collect();
+
+        for batch in &batches {
+            let links: Vec<AnchorLink> = batch
+                .iter()
+                .map(|&(l, r)| AnchorLink::new(UserId(l), UserId(r)))
+                .collect();
+            let outcome = store.update_anchors(&links).unwrap();
+            for chg in &outcome.changed {
+                let region = chg.touched.as_ref().expect("delta path reports regions");
+                let counts = store.catalog_count(chg.catalog_pos);
+                let sums = store.catalog_sums(chg.catalog_pos);
+                // The maintained margins never drift from a rescan.
+                prop_assert!(sums.matches(counts), "margins drifted");
+                proxies[chg.catalog_pos] = dice_proximity_delta(
+                    counts,
+                    sums,
+                    &region.rows,
+                    &region.cols,
+                    &proxies[chg.catalog_pos],
+                );
+            }
+            // Every proximity — refreshed or untouched — equals the full
+            // re-normalization of the current counts, bit for bit.
+            for (i, entry) in catalog.entries().iter().enumerate() {
+                prop_assert_eq!(
+                    &proxies[i],
+                    &dice_proximity(store.catalog_count(i)),
+                    "proximity of {} diverged after {} batches",
+                    &entry.name,
+                    batches.len()
+                );
+            }
+        }
+        prop_assert_eq!(store.stats().full_counts, 1);
+    }
+}

@@ -84,7 +84,7 @@ mod active;
 mod stages;
 
 pub use active::{ActiveRunReport, RecountPolicy, RoundStat};
-pub use stages::{AlignmentSession, Counted, Featurized, Fitted, SessionBuilder};
+pub use stages::{AlignmentSession, Counted, Featurized, Fitted, ProximityRefresh, SessionBuilder};
 
 use metadiagram::count::EngineError;
 use metadiagram::DeltaError;

@@ -6,7 +6,10 @@ use activeiter::{AlignmentInstance, ModelConfig, Oracle, QueryStrategy};
 use hetnet::aligned::anchor_matrix;
 use hetnet::{HetNet, UserId};
 use metadiagram::delta::{DeltaCatalogCounts, DeltaOutcome, DeltaStats};
-use metadiagram::{dice_proximity, gather_features, Catalog, FeatureMatrix, FeatureSet};
+use metadiagram::{
+    dice_proximity, dice_proximity_delta, gather_features, touch_is_dense, Catalog, FeatureMatrix,
+    FeatureSet,
+};
 use sparsela::{CsrMatrix, Threading};
 
 /// Configures and opens an [`AlignmentSession`].
@@ -111,6 +114,23 @@ pub struct AlignmentSession<S> {
     pub(crate) counts: DeltaCatalogCounts,
     pub(crate) threading: Threading,
     pub(crate) stage: S,
+}
+
+/// How [`AlignmentSession::update_anchors`] refreshes the downstream Dice
+/// proximity matrices after an incremental recount.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProximityRefresh {
+    /// Rewrite only rows whose row sum changed and patch entries in
+    /// columns whose column sum changed
+    /// ([`metadiagram::dice_proximity_delta`] over the maintained
+    /// [`sparsela::MarginSums`]) — the default. Per-round normalization
+    /// cost scales with the touched rows/columns, not with `Σ nnz`.
+    #[default]
+    Delta,
+    /// Re-normalize every changed count matrix from scratch (`O(nnz)` per
+    /// matrix) — the reference path the delta refresh is benchmarked
+    /// against. Results are bit-identical; only the cost differs.
+    Full,
 }
 
 /// Stage 1: count matrices and factor chains exist; no features yet.
@@ -229,15 +249,34 @@ impl AlignmentSession<Featurized> {
 
     /// Applies newly confirmed anchors incrementally and refreshes exactly
     /// the downstream artifacts that depend on them: the changed count
-    /// matrices (`C += L·ΔA·R`), their proximity matrices, and the
-    /// corresponding feature *columns*. Anchor-free attribute features are
-    /// untouched. Returns the number of genuinely new anchors merged.
+    /// matrices (`C += L·ΔA·R`), the touched rows/columns of their
+    /// proximity matrices, and the affected feature *entries* — only
+    /// candidates whose left user sits in a touched row or whose right
+    /// user sits in a touched column are re-gathered. Anchor-free
+    /// attribute features are untouched. Returns the number of genuinely
+    /// new anchors merged.
     ///
     /// # Errors
     /// [`SessionError::Delta`] on out-of-range endpoints (nothing changes).
     pub fn update_anchors(&mut self, edges: &[AnchorEdge]) -> Result<usize, SessionError> {
+        self.update_anchors_with(edges, ProximityRefresh::Delta)
+    }
+
+    /// [`AlignmentSession::update_anchors`] with an explicit
+    /// [`ProximityRefresh`] policy. Both policies produce bit-identical
+    /// proximities and features; [`ProximityRefresh::Full`] exists as the
+    /// measured reference for the delta refresh (see the `session_delta`
+    /// bench).
+    ///
+    /// # Errors
+    /// [`SessionError::Delta`] on out-of-range endpoints (nothing changes).
+    pub fn update_anchors_with(
+        &mut self,
+        edges: &[AnchorEdge],
+        refresh: ProximityRefresh,
+    ) -> Result<usize, SessionError> {
         let outcome = self.counts.update_anchors(edges)?;
-        self.refresh(&outcome);
+        self.refresh(&outcome, refresh);
         Ok(outcome.applied)
     }
 
@@ -250,23 +289,75 @@ impl AlignmentSession<Featurized> {
     /// [`SessionError::Delta`] on out-of-range endpoints (nothing changes).
     pub fn recount_anchors(&mut self, edges: &[AnchorEdge]) -> Result<usize, SessionError> {
         let outcome = self.counts.recount_anchors(edges)?;
-        self.refresh(&outcome);
+        self.refresh(&outcome, ProximityRefresh::Full);
         Ok(outcome.applied)
     }
 
-    /// Re-derives proximities and feature columns for the changed catalog
-    /// entries. The column gather fans out over candidate batches through
-    /// the same [`gather_features`] kernel featurization uses, under the
-    /// session's threading knob — bit-identical to a fresh featurization.
-    fn refresh(&mut self, outcome: &DeltaOutcome) {
+    /// Re-derives proximities and feature values for the changed catalog
+    /// entries.
+    ///
+    /// With [`ProximityRefresh::Delta`] and a known touched region, each
+    /// changed proximity is patched in its touched rows/columns
+    /// ([`dice_proximity_delta`] over the store's maintained margins) and
+    /// only the affected candidates re-gather — a candidate `(l, r)` can
+    /// change in column `c` only when `l` is a touched row or `r` a
+    /// touched column of `c`'s counts. Columns refreshed without region
+    /// info (the full-recount path) re-normalize from scratch and
+    /// re-gather wholesale through the same [`gather_features`] kernel
+    /// featurization uses. Both paths are bit-identical to a fresh
+    /// featurization.
+    fn refresh(&mut self, outcome: &DeltaOutcome, mode: ProximityRefresh) {
         if outcome.changed.is_empty() {
             return;
         }
-        for &col in &outcome.changed {
-            self.stage.proximities[col] = dice_proximity(self.counts.catalog_count(col));
+        let mut full_cols: Vec<usize> = Vec::new();
+        for chg in &outcome.changed {
+            let col = chg.catalog_pos;
+            let region = match (mode, &chg.touched) {
+                (ProximityRefresh::Delta, Some(region))
+                    if !touch_is_dense(
+                        self.counts.catalog_count(col),
+                        &region.rows,
+                        &region.cols,
+                    ) =>
+                {
+                    region
+                }
+                // No region info (full-recount path, explicit Full policy)
+                // or a region dense enough that per-entry patching would
+                // cost more than the wholesale refresh.
+                _ => {
+                    self.stage.proximities[col] = dice_proximity(self.counts.catalog_count(col));
+                    full_cols.push(col);
+                    continue;
+                }
+            };
+            if region.is_empty() {
+                // The update's low-rank product vanished for this chain:
+                // counts, sums, proximity and features are all unchanged.
+                continue;
+            }
+            let refreshed = dice_proximity_delta(
+                self.counts.catalog_count(col),
+                self.counts.catalog_sums(col),
+                &region.rows,
+                &region.cols,
+                &self.stage.proximities[col],
+            );
+            self.stage.proximities[col] = refreshed;
+            let prox = &self.stage.proximities[col];
+            for (row, &(l, r)) in self.stage.candidates.iter().enumerate() {
+                if region.rows.binary_search(&l.index()).is_ok()
+                    || region.cols.binary_search(&r.index()).is_ok()
+                {
+                    self.stage.features.x[(row, col)] = prox.get(l.index(), r.index());
+                }
+            }
         }
-        let changed_prox: Vec<&CsrMatrix> = outcome
-            .changed
+        if full_cols.is_empty() {
+            return;
+        }
+        let changed_prox: Vec<&CsrMatrix> = full_cols
             .iter()
             .map(|&col| &self.stage.proximities[col])
             .collect();
@@ -276,7 +367,7 @@ impl AlignmentSession<Featurized> {
             &self.stage.candidates,
             self.threading,
         );
-        for (k, &col) in outcome.changed.iter().enumerate() {
+        for (k, &col) in full_cols.iter().enumerate() {
             for row in 0..self.stage.candidates.len() {
                 self.stage.features.x[(row, col)] = sub.x[(row, k)];
             }
@@ -420,6 +511,39 @@ mod tests {
         assert_eq!(incremental.stats().full_counts, 1);
         assert_eq!(incremental.stats().delta_updates, 1);
         assert_eq!(fresh.stats().full_counts, 1);
+    }
+
+    #[test]
+    fn delta_and_full_proximity_refresh_are_bit_identical() {
+        let w = world();
+        let train = w.truth().links()[..8].to_vec();
+        let extra = w.truth().links()[8..20].to_vec();
+        let candidates: Vec<_> = w.truth().iter().map(|l| (l.left, l.right)).collect();
+        let open = || {
+            SessionBuilder::new(w.left(), w.right())
+                .anchors(train.clone())
+                .count()
+                .unwrap()
+                .featurize(candidates.clone())
+        };
+        let mut delta = open();
+        let mut full = open();
+        for batch in extra.chunks(4) {
+            assert_eq!(
+                delta
+                    .update_anchors_with(batch, ProximityRefresh::Delta)
+                    .unwrap(),
+                full.update_anchors_with(batch, ProximityRefresh::Full)
+                    .unwrap()
+            );
+            assert_eq!(delta.features().x.data(), full.features().x.data());
+            for i in 0..delta.catalog().len() {
+                assert_eq!(delta.proximity_of(i), full.proximity_of(i), "prox {i}");
+            }
+        }
+        // Both stayed on the incremental counting path.
+        assert_eq!(delta.stats().full_counts, 1);
+        assert_eq!(full.stats().full_counts, 1);
     }
 
     #[test]

@@ -307,6 +307,38 @@ impl CsrMatrix {
         }
     }
 
+    /// Keeps only entries with `value > 0.0`, dropping explicit zeros and
+    /// clamping away negative round-off residue — the invariant repair for
+    /// count matrices, whose entries are nonnegative by construction.
+    /// Returns `None` when no entry violates the invariant, so callers on a
+    /// hot path can skip the rebuild entirely (the scan itself is a cheap
+    /// branch-per-entry pass with no allocation).
+    pub fn positive_part(&self) -> Option<CsrMatrix> {
+        if self.values.iter().all(|&v| v > 0.0) {
+            return None;
+        }
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        indptr.push(0);
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                if v > 0.0 {
+                    indices.push(c);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Some(CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
     /// Converts to a dense matrix (tests and small problems only).
     pub fn to_dense(&self) -> DenseMatrix {
         let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
@@ -453,6 +485,27 @@ mod tests {
         assert_eq!(pruned.nnz(), 2);
         assert_eq!(pruned.get(2, 0), 3.0);
         assert_eq!(pruned.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn positive_part_skips_clean_matrices_and_repairs_dirty_ones() {
+        // All-positive: no rebuild.
+        assert!(sample().positive_part().is_none());
+        // Explicit zero and negative residue: both dropped.
+        let dirty = CsrMatrix::try_new(
+            2,
+            3,
+            vec![0, 2, 4],
+            vec![0, 2, 1, 2],
+            vec![1.0, 0.0, -1e-17, 3.0],
+        )
+        .unwrap();
+        let clean = dirty.positive_part().expect("residue must trigger repair");
+        assert_eq!(clean.nnz(), 2);
+        assert_eq!(clean.get(0, 0), 1.0);
+        assert_eq!(clean.get(1, 2), 3.0);
+        assert_eq!(clean.shape(), dirty.shape());
+        assert!(clean.positive_part().is_none());
     }
 
     #[test]

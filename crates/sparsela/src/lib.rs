@@ -31,6 +31,7 @@ pub mod error;
 pub mod ops;
 pub mod ridge;
 pub mod spgemm;
+pub mod sums;
 
 pub use chol::CholeskyFactor;
 pub use coo::CooMatrix;
@@ -39,6 +40,7 @@ pub use dense::DenseMatrix;
 pub use error::{Result, SparseError};
 pub use ridge::RidgeSolver;
 pub use spgemm::{
-    spgemm, spgemm_lowrank, spgemm_par, spgemm_partitioned, spgemm_threaded, spgemm_with,
-    Accumulator, RowPartition, Threading,
+    spgemm, spgemm_lowrank, spgemm_lowrank_with_sums, spgemm_par, spgemm_partitioned,
+    spgemm_threaded, spgemm_with, Accumulator, RowPartition, Threading,
 };
+pub use sums::MarginSums;

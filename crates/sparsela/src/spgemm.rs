@@ -24,6 +24,7 @@
 
 use crate::csr::CsrMatrix;
 use crate::error::{Result, SparseError};
+use crate::sums::MarginSums;
 use std::ops::Range;
 
 /// Strategy for the per-row accumulator.
@@ -376,6 +377,30 @@ pub fn spgemm_lowrank(lt: &CsrMatrix, delta: &CsrMatrix, r: &CsrMatrix) -> Resul
     spgemm_with(&ldt.transpose(), r, Accumulator::Auto)
 }
 
+/// [`spgemm_lowrank`] that also applies the update's row/column-sum deltas
+/// to `sums` — the margins the Dice normalization divides by, maintained as
+/// a first-class artifact instead of being rescanned per round.
+///
+/// The low-rank kernel already walks every nonzero of `L·Δ·R` once to build
+/// its CSR output; folding those entries into `sums` costs one more pass
+/// over `nnz(L·Δ·R)`, so the whole call stays `O(nnz(Δ) · degree)`. After
+/// `C += L·Δ·R`, `sums` equals `MarginSums::of(&C)` bit-for-bit (exact
+/// integer arithmetic — see [`MarginSums`]).
+///
+/// # Errors
+/// [`SparseError::DimMismatch`] on inconsistent factor shapes, or when
+/// `sums` does not match the product's shape; `sums` is untouched on error.
+pub fn spgemm_lowrank_with_sums(
+    lt: &CsrMatrix,
+    delta: &CsrMatrix,
+    r: &CsrMatrix,
+    sums: &mut MarginSums,
+) -> Result<CsrMatrix> {
+    let dc = spgemm_lowrank(lt, delta, r)?;
+    sums.accumulate(&dc)?;
+    Ok(dc)
+}
+
 /// Multiplies a chain of matrices left to right: `m[0] * m[1] * … * m[k-1]`.
 ///
 /// Meta paths of length > 2 use this. Left-to-right order is optimal for the
@@ -574,6 +599,24 @@ mod tests {
         let full = spgemm(&spgemm(&l, &delta).unwrap(), &r).unwrap();
         let low = spgemm_lowrank(&l.transpose(), &delta, &r).unwrap();
         assert_eq!(low, full);
+    }
+
+    #[test]
+    fn lowrank_with_sums_maintains_margins_exactly() {
+        let l = CsrMatrix::from_dense(3, 3, &[1.0, 2.0, 0.0, 0.0, 1.0, 3.0, 4.0, 0.0, 1.0]);
+        let r = CsrMatrix::from_dense(2, 2, &[1.0, 2.0, 3.0, 0.0]);
+        let a = CsrMatrix::from_dense(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let c = spgemm(&spgemm(&l, &a).unwrap(), &r).unwrap();
+        let mut sums = MarginSums::of(&c);
+        let delta = CsrMatrix::from_dense(3, 2, &[0.0, 0.0, 1.0, 0.0, 0.0, 0.0]);
+        let dc = spgemm_lowrank_with_sums(&l.transpose(), &delta, &r, &mut sums).unwrap();
+        assert_eq!(dc, spgemm_lowrank(&l.transpose(), &delta, &r).unwrap());
+        let merged = c.add(&dc).unwrap();
+        assert!(sums.matches(&merged), "maintained sums must equal a rescan");
+        // Shape errors leave the sums untouched.
+        let before = sums.clone();
+        assert!(spgemm_lowrank_with_sums(&l, &CsrMatrix::zeros(4, 2), &r, &mut sums).is_err());
+        assert_eq!(sums, before);
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Incrementally maintained row/column margin sums.
+//!
+//! The Dice-style proximity normalization (paper Definition 6) divides every
+//! count by `row_sum + col_sum`; a full rescan of a count matrix to rebuild
+//! those denominators costs `O(nnz)` per update, which dominates the
+//! per-round cost of the active-learning loop once counting itself is
+//! incremental. [`MarginSums`] keeps both margins as first-class artifacts
+//! that a low-rank count update maintains in `O(nnz(Δ))`:
+//!
+//! * [`MarginSums::accumulate`] folds in the margins of an additive delta
+//!   matrix (the `L·ΔA·R` of an anchor update);
+//! * [`MarginSums::rewrite_rows`] exchanges the contributions of a set of
+//!   replaced rows (the touched rows of a re-Hadamarded stack matrix).
+//!
+//! **Exactness.** All counts this library manipulates are small nonnegative
+//! integers stored in `f64`, so every margin is an exact integer and the
+//! incremental additions/subtractions are bit-equal to a full rescan as
+//! long as every intermediate stays below `2^53` (far above any realistic
+//! instance count). Property tests in `metadiagram` pin the equality.
+
+use crate::csr::CsrMatrix;
+use crate::error::{Result, SparseError};
+
+/// The row and column sums of a sparse matrix, maintained incrementally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarginSums {
+    row: Vec<f64>,
+    col: Vec<f64>,
+}
+
+impl MarginSums {
+    /// Computes both margins of `m` by a full scan (`O(nnz)`), the one
+    /// mandatory rescan a maintained matrix ever pays.
+    pub fn of(m: &CsrMatrix) -> Self {
+        MarginSums {
+            row: m.row_sums(),
+            col: m.col_sums(),
+        }
+    }
+
+    /// The shape these margins describe.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.row.len(), self.col.len())
+    }
+
+    /// Sum of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> f64 {
+        self.row[i]
+    }
+
+    /// Sum of column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> f64 {
+        self.col[j]
+    }
+
+    /// All row sums.
+    pub fn rows(&self) -> &[f64] {
+        &self.row
+    }
+
+    /// All column sums.
+    pub fn cols(&self) -> &[f64] {
+        &self.col
+    }
+
+    /// Folds in the margins of an additive update: after `C += delta`,
+    /// `MarginSums::of(&C)` equals the accumulated sums bit-for-bit (exact
+    /// integer arithmetic). Cost `O(nnz(delta) + delta.nrows())`.
+    ///
+    /// # Errors
+    /// [`SparseError::DimMismatch`] when `delta`'s shape differs from the
+    /// maintained shape (nothing is modified).
+    pub fn accumulate(&mut self, delta: &CsrMatrix) -> Result<()> {
+        if delta.shape() != self.shape() {
+            return Err(SparseError::DimMismatch {
+                op: "margin accumulate",
+                lhs: self.shape(),
+                rhs: delta.shape(),
+            });
+        }
+        for i in 0..delta.nrows() {
+            let mut row_delta = 0.0;
+            for (j, v) in delta.row(i) {
+                row_delta += v;
+                self.col[j] += v;
+            }
+            self.row[i] += row_delta;
+        }
+        Ok(())
+    }
+
+    /// Exchanges the contributions of the rows in `rows` (sorted or not,
+    /// duplicates ignored by construction of the caller): subtracts `old`'s
+    /// entries and adds `new`'s. Used when a set of rows is *replaced*
+    /// rather than additively updated (re-Hadamarded stack matrices). Cost
+    /// `O(Σ nnz(old rows) + Σ nnz(new rows))`.
+    ///
+    /// # Errors
+    /// [`SparseError::DimMismatch`] when the three shapes disagree (the
+    /// sums may be partially updated only if shapes matched, so the check
+    /// happens up front and failure leaves the sums untouched).
+    pub fn rewrite_rows(&mut self, old: &CsrMatrix, new: &CsrMatrix, rows: &[usize]) -> Result<()> {
+        if old.shape() != self.shape() || new.shape() != self.shape() {
+            return Err(SparseError::DimMismatch {
+                op: "margin rewrite_rows",
+                lhs: old.shape(),
+                rhs: new.shape(),
+            });
+        }
+        for &i in rows {
+            let mut row_sum = 0.0;
+            for (j, v) in old.row(i) {
+                self.col[j] -= v;
+            }
+            for (j, v) in new.row(i) {
+                row_sum += v;
+                self.col[j] += v;
+            }
+            self.row[i] = row_sum;
+        }
+        Ok(())
+    }
+
+    /// True when these margins equal a full rescan of `m` bit-for-bit —
+    /// the invariant every incremental maintenance path must preserve.
+    pub fn matches(&self, m: &CsrMatrix) -> bool {
+        m.shape() == self.shape() && m.row_sums() == self.row && m.col_sums() == self.col
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_dense(
+            3,
+            4,
+            &[1.0, 0.0, 2.0, 0.0, 0.0, 3.0, 0.0, 0.0, 4.0, 0.0, 0.0, 5.0],
+        )
+    }
+
+    #[test]
+    fn of_matches_direct_sums() {
+        let m = sample();
+        let s = MarginSums::of(&m);
+        assert_eq!(s.rows(), m.row_sums().as_slice());
+        assert_eq!(s.cols(), m.col_sums().as_slice());
+        assert_eq!(s.shape(), m.shape());
+        assert_eq!(s.row(2), 9.0);
+        assert_eq!(s.col(0), 5.0);
+        assert!(s.matches(&m));
+    }
+
+    #[test]
+    fn accumulate_tracks_an_additive_update() {
+        let m = sample();
+        let delta = CsrMatrix::from_dense(
+            3,
+            4,
+            &[0.0, 7.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0],
+        );
+        let mut s = MarginSums::of(&m);
+        s.accumulate(&delta).unwrap();
+        let merged = m.add(&delta).unwrap();
+        assert!(s.matches(&merged));
+    }
+
+    #[test]
+    fn accumulate_rejects_shape_mismatch() {
+        let mut s = MarginSums::of(&sample());
+        let before = s.clone();
+        assert!(s.accumulate(&CsrMatrix::zeros(2, 4)).is_err());
+        assert_eq!(s, before, "failed accumulate must not mutate");
+    }
+
+    #[test]
+    fn rewrite_rows_exchanges_replaced_rows() {
+        let old = sample();
+        // Replace rows 0 and 2 with different patterns and values.
+        let new = CsrMatrix::from_dense(
+            3,
+            4,
+            &[0.0, 6.0, 0.0, 1.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 8.0, 0.0],
+        );
+        let mut s = MarginSums::of(&old);
+        s.rewrite_rows(&old, &new, &[0, 2]).unwrap();
+        assert!(s.matches(&new));
+    }
+
+    #[test]
+    fn rewrite_rows_rejects_shape_mismatch() {
+        let old = sample();
+        let mut s = MarginSums::of(&old);
+        assert!(s.rewrite_rows(&old, &CsrMatrix::zeros(3, 3), &[0]).is_err());
+        assert!(s.matches(&old));
+    }
+
+    #[test]
+    fn matches_detects_drift() {
+        let m = sample();
+        let mut s = MarginSums::of(&m);
+        s.row[0] += 1.0;
+        assert!(!s.matches(&m));
+    }
+}

@@ -8,7 +8,11 @@
 //!   rebuild-per-round behaviour);
 //! * `RecountPolicy::Delta` — every round applies the sparse low-rank
 //!   update `C += L·ΔA·R`, whose cost scales with the handful of anchors
-//!   the oracle just confirmed.
+//!   the oracle just confirmed. The downstream refresh is delta-aware
+//!   too: Dice proximities are patched only in the touched rows/columns
+//!   (maintained margin sums — no `O(nnz)` denominator rescan) and only
+//!   affected feature entries re-gather, so the printed per-round
+//!   recount-ms covers counting *and* normalization on the delta path.
 //!
 //! The fits are bit-identical; only the per-round recount wall-clock
 //! differs — the session counts the full catalog exactly once, at build.

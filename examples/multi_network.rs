@@ -35,7 +35,7 @@ fn main() {
         seed: 11,
         threads: 0,
     };
-    let alignment = align_all_pairs(&world, &spec);
+    let alignment = align_all_pairs(&world, &spec).expect("spec is valid");
     println!();
     println!(
         "pairwise alignment: {} predicted links, precision {:.3}",

@@ -14,7 +14,7 @@ fn multi_network_pipeline_end_to_end() {
         seed: 19,
         threads: 0,
     };
-    let alignment = align_all_pairs(&world, &spec);
+    let alignment = align_all_pairs(&world, &spec).expect("spec is valid");
     assert!(!alignment.links.is_empty());
     assert!(
         precision(&alignment) > 0.5,

@@ -54,6 +54,19 @@ pub struct Bencher {
     samples: usize,
 }
 
+/// Batch-size hint for [`Bencher::iter_batched`]. The stand-in runs one
+/// setup per timed sample regardless, so the hint is accepted for API
+/// compatibility only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
 impl Bencher {
     /// Run `routine` repeatedly: a warm-up pass, then timed samples.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
@@ -64,16 +77,40 @@ impl Bencher {
             black_box(routine());
             times.push(start.elapsed());
         }
-        times.sort_unstable();
-        let median = times[times.len() / 2];
-        println!(
-            "    min {:?}  median {:?}  max {:?}  ({} samples)",
-            times[0],
-            median,
-            times[times.len() - 1],
-            times.len()
-        );
+        report(&mut times);
     }
+
+    /// Run `routine` over a fresh `setup()` input per sample, timing only
+    /// the routine — for benchmarks whose per-iteration state (a cloned
+    /// session, a scratch buffer) must not dilute the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            times.push(start.elapsed());
+        }
+        report(&mut times);
+    }
+}
+
+/// Sorts the samples and prints the min/median/max line.
+fn report(times: &mut [Duration]) {
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    println!(
+        "    min {:?}  median {:?}  max {:?}  ({} samples)",
+        times[0],
+        median,
+        times[times.len() - 1],
+        times.len()
+    );
 }
 
 /// A named collection of related benchmarks sharing settings.

@@ -16,7 +16,8 @@
 //! baseline. F1 drift is reported as context. Exit code 1 when any cell
 //! regresses.
 //!
-//! The records are the flat documents written by [`bench::BenchRecorder`];
+//! The records are the flat documents written by
+//! [`bench::record::BenchRecorder`];
 //! the vendored serde stand-in has no deserializer, so the fields are
 //! pulled out by a small line scanner matched to that writer.
 

@@ -1,0 +1,122 @@
+//! Measures **open-from-snapshot vs rebuild** for a `Counted` alignment
+//! session (ISSUE 5 / ROADMAP "Session checkpointing / serving").
+//!
+//! The serving claim under test: at the table IV world (the default
+//! `--quick` scale; `--tiny`/`--full` switch it), reopening a persisted
+//! session — read the file, decode, re-validate, recompute `Lᵀ` caches —
+//! is strictly cheaper than rebuilding it with a full 31-template catalog
+//! count. The bin times three phases over `--reps` repetitions (rebuild,
+//! save, open), verifies the reopened session resumes `update_anchors`
+//! bit-equal to the rebuilt one, and writes `BENCH_snapshot.json` for the
+//! CI perf-trajectory gate.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin snapshot [-- --tiny | --full]
+//! ```
+
+use eval::MetricSummary;
+use session::{snapshot, SessionBuilder};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let opts = bench::HarnessOpts::from_args();
+    let world = opts.world();
+    let links = world.truth().links();
+    // 60% of the anchors train the session (a mid-sweep γ); the rest are
+    // the held-out updates that prove the reopened session resumes.
+    let n_train = (links.len() * 6) / 10;
+    let train = links[..n_train].to_vec();
+    let held_out = &links[n_train..];
+    let reps = 3usize;
+
+    let build = || {
+        SessionBuilder::new(world.left(), world.right())
+            .anchors(train.clone())
+            .threading(metadiagram::Threading::Threads(eval::effective_threads(
+                opts.threads,
+            )))
+            .count()
+            .expect("generated networks share attribute universes")
+    };
+
+    let mut rebuild_time = Duration::ZERO;
+    let mut save_time = Duration::ZERO;
+    let mut open_time = Duration::ZERO;
+    let path = std::env::temp_dir().join(format!("bench-snapshot-{}.snap", std::process::id()));
+    let mut file_bytes = 0u64;
+    let mut last: Option<session::AlignmentSession<session::Counted>> = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let counted = build();
+        rebuild_time += t.elapsed();
+
+        let t = Instant::now();
+        snapshot::save(&counted, &path).expect("snapshot save");
+        save_time += t.elapsed();
+        file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+        let t = Instant::now();
+        let reopened = snapshot::open(&path).expect("snapshot open");
+        open_time += t.elapsed();
+        last = Some(reopened);
+        drop(counted);
+    }
+
+    // Correctness spot-check: the reopened session folds in the held-out
+    // anchors bit-equal to a rebuilt one, without a second full count.
+    let mut reopened = last.expect("reps >= 1");
+    let mut rebuilt = build();
+    assert_eq!(
+        reopened.update_anchors(held_out).expect("update reopened"),
+        rebuilt.update_anchors(held_out).expect("update rebuilt"),
+    );
+    for i in 0..reopened.catalog().len() {
+        assert_eq!(
+            reopened.count_of(i),
+            rebuilt.count_of(i),
+            "count {i} diverged after reopen"
+        );
+    }
+    assert_eq!(reopened.stats().full_counts, 1, "reopen must not recount");
+    std::fs::remove_file(&path).ok();
+
+    let rebuild = rebuild_time / reps as u32;
+    let save = save_time / reps as u32;
+    let open = open_time / reps as u32;
+    let no_f1 = MetricSummary {
+        mean: f64::NAN,
+        std: 0.0,
+    };
+    let mut recorder = opts.recorder("snapshot");
+    recorder.annotate("reps", reps);
+    recorder.annotate("n_train", n_train);
+    recorder.annotate("snapshot_bytes", file_bytes);
+    recorder.record("rebuild", "counted-stage", no_f1, rebuild);
+    recorder.record("save", "counted-stage", no_f1, save);
+    recorder.record("open", "counted-stage", no_f1, open);
+    let json = recorder.write().expect("write BENCH_snapshot.json");
+
+    println!(
+        "snapshot bench — {} scale, {} anchors trained",
+        opts.scale.name(),
+        n_train
+    );
+    println!("  rebuild (full catalog count): {rebuild:>10.2?}");
+    println!("  save snapshot:                {save:>10.2?}  ({file_bytes} bytes)");
+    println!("  open from snapshot:           {open:>10.2?}");
+    println!(
+        "  open is {:.1}× faster than rebuild",
+        rebuild.as_secs_f64() / open.as_secs_f64().max(1e-9)
+    );
+    println!("record: {}", json.display());
+    // The serving claim holds where serving happens: at the table IV
+    // world (quick) and above, where rebuild is SpGEMM-bound. The tiny
+    // smoke world counts its whole catalog in well under a millisecond —
+    // there file I/O can tie, so tiny runs record without asserting.
+    if opts.scale != bench::Scale::Tiny {
+        assert!(
+            open < rebuild,
+            "open-from-snapshot ({open:?}) must beat rebuild ({rebuild:?})"
+        );
+    }
+}

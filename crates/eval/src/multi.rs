@@ -20,11 +20,10 @@ use metadiagram::Threading;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use session::workers::run_ordered;
 use session::SessionBuilder;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
 
 /// One predicted pairwise alignment link with its model score.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,91 +134,20 @@ pub struct PairAlignment {
     pub links: Vec<PairwiseLink>,
 }
 
-/// A counting semaphore bounding how many claimed-but-not-yet-emitted
-/// pairs may exist at once — the backpressure that keeps
-/// [`for_each_pair_alignment`]'s reorder buffer at O(workers) even when
-/// one pair straggles far behind the rest.
-struct ClaimWindow {
-    permits: Mutex<usize>,
-    cv: Condvar,
-}
-
-impl ClaimWindow {
-    fn new(permits: usize) -> Self {
-        ClaimWindow {
-            permits: Mutex::new(permits),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Blocks for a permit. The returned guard releases it on drop —
-    /// including during unwinding, so a panicking worker can never strand
-    /// its siblings in `acquire` (the consumer would stop releasing, the
-    /// scope would block joining, and the panic would be masked by a
-    /// hang). Call [`Permit::transfer`] once responsibility for the
-    /// release moves to the consumer.
-    fn acquire(&self) -> Permit<'_> {
-        let mut n = self
-            .permits
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        while *n == 0 {
-            n = self
-                .cv
-                .wait(n)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-        }
-        *n -= 1;
-        Permit {
-            window: self,
-            armed: true,
-        }
-    }
-
-    fn release(&self) {
-        *self
-            .permits
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
-        self.cv.notify_all();
-    }
-}
-
-/// RAII claim-window permit (see [`ClaimWindow::acquire`]).
-struct Permit<'a> {
-    window: &'a ClaimWindow,
-    armed: bool,
-}
-
-impl Permit<'_> {
-    /// Hands the release duty to whoever now owns the claimed slot (the
-    /// consumer releases after emitting the pair).
-    fn transfer(mut self) {
-        self.armed = false;
-    }
-}
-
-impl Drop for Permit<'_> {
-    fn drop(&mut self) {
-        if self.armed {
-            self.window.release();
-        }
-    }
-}
-
 /// Runs the pairwise pipeline on every pair of the collection, **streaming**
 /// each pair's link set to `sink` in pair order instead of materializing the
 /// whole collection — with k networks the k·(k−1)/2 pairwise link sets never
 /// coexist in memory: at most `2 × workers` claimed-but-unemitted pairs
-/// exist at any moment (a claim window throttles the workers, so a
-/// straggling early pair cannot make the reorder buffer grow to k²).
+/// exist at any moment (the claim window inside
+/// [`session::workers::run_ordered`] throttles the workers, so a straggling
+/// early pair cannot make the reorder buffer grow to k²).
 ///
 /// The pairs are fully independent, so they are **sharded across the
 /// bounded worker pool** (`spec.threads`, 0 = auto): each worker claims the
 /// next unprocessed pair, runs the session pipeline (count → featurize →
-/// fit), and sends the result to the reordering consumer. Whatever budget
-/// the pair layer leaves unused flows into each pair's feature extraction.
-/// Results are bit-identical at any thread budget.
+/// fit), and streams the result through the order-preserving consumer.
+/// Whatever budget the pair layer leaves unused flows into each pair's
+/// feature extraction. Results are bit-identical at any thread budget.
 ///
 /// # Errors
 /// [`MultiSpecError`] when the spec is invalid ([`MultiSpec::validate`]);
@@ -227,7 +155,7 @@ impl Drop for Permit<'_> {
 pub fn for_each_pair_alignment(
     world: &MultiWorld,
     spec: &MultiSpec,
-    mut sink: impl FnMut(PairAlignment),
+    sink: impl FnMut(PairAlignment),
 ) -> Result<(), MultiSpecError> {
     spec.validate()?;
     let pairs = world.pairs();
@@ -237,53 +165,15 @@ pub fn for_each_pair_alignment(
     let budget = effective_threads(spec.threads);
     let pair_workers = budget.min(pairs.len()).max(1);
     let extract_threads = (budget / pair_workers).max(1);
-    if pair_workers <= 1 {
-        for &(a, b) in &pairs {
-            sink(align_pair(world, a, b, spec, extract_threads));
-        }
-        return Ok(());
-    }
-    let next = AtomicUsize::new(0);
-    let window = ClaimWindow::new(pair_workers * 2);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, PairAlignment)>();
-    std::thread::scope(|scope| {
-        for _ in 0..pair_workers {
-            let tx = tx.clone();
-            let next = &next;
-            let pairs = &pairs;
-            let window = &window;
-            scope.spawn(move || loop {
-                // One permit per claimed pair, held until the consumer
-                // emits it. The permit guard releases on every other exit
-                // path — pairs exhausted, receiver gone, or a panic inside
-                // align_pair — so blocked siblings always wake up.
-                let permit = window.acquire();
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= pairs.len() {
-                    break;
-                }
-                let (a, b) = pairs[i];
-                let alignment = align_pair(world, a, b, spec, extract_threads);
-                if tx.send((i, alignment)).is_err() {
-                    break;
-                }
-                permit.transfer();
-            });
-        }
-        drop(tx);
-        // Re-emit in pair order; each emit returns a permit, so `pending`
-        // never holds more than the claim window.
-        let mut pending: BTreeMap<usize, PairAlignment> = BTreeMap::new();
-        let mut next_emit = 0usize;
-        for (i, alignment) in rx {
-            pending.insert(i, alignment);
-            while let Some(ready) = pending.remove(&next_emit) {
-                sink(ready);
-                next_emit += 1;
-                window.release();
-            }
-        }
-    });
+    run_ordered(
+        pairs.len(),
+        pair_workers,
+        |i| {
+            let (a, b) = pairs[i];
+            align_pair(world, a, b, spec, extract_threads)
+        },
+        sink,
+    );
     Ok(())
 }
 

@@ -17,6 +17,13 @@
 //! All arithmetic is exact (counts are small nonnegative integers stored in
 //! `f64`), so the delta path is **bit-equal** to a full recount from the
 //! merged anchor set — property-tested in `tests/delta_props.rs`.
+//!
+//! A [`DeltaCatalogCounts`] is also the unit of **persistence**: it owns
+//! everything an update needs (factor chains included, networks
+//! excluded), so [`crate::codec::encode_store`] /
+//! [`crate::codec::decode_store`] can write it to disk and a fresh
+//! process can resume updates bit-equal to the store that was saved —
+//! the payload behind `session::snapshot`.
 
 use crate::catalog::Catalog;
 use crate::count::{CountEngine, EngineError};
@@ -171,15 +178,15 @@ impl DeltaOutcome {
 /// The anchor-chain factorization `C = L·A·R`, with `Lᵀ` cached for the
 /// low-rank update kernel.
 #[derive(Clone)]
-struct FactorChain {
-    l: CsrMatrix,
-    lt: CsrMatrix,
-    r: CsrMatrix,
+pub(crate) struct FactorChain {
+    pub(crate) l: CsrMatrix,
+    pub(crate) lt: CsrMatrix,
+    pub(crate) r: CsrMatrix,
 }
 
 /// How one materialized diagram reacts to an anchor update.
 #[derive(Clone)]
-enum NodeKind {
+pub(crate) enum NodeKind {
     /// `C = L·A·R`: keeps the factor chain (boxed — most nodes are stacks).
     AnchorChain(Box<FactorChain>),
     /// Anchor-independent: carried over untouched.
@@ -200,18 +207,18 @@ enum NodeKind {
 /// so callers can checkpoint a counting state and explore updates from it.
 #[derive(Clone)]
 pub struct DeltaCatalogCounts {
-    anchor: CsrMatrix,
+    pub(crate) anchor: CsrMatrix,
     /// Materialized diagrams in dependency order (stack parts first).
-    order: Vec<Diagram>,
-    kinds: Vec<NodeKind>,
-    counts: Vec<CsrMatrix>,
+    pub(crate) order: Vec<Diagram>,
+    pub(crate) kinds: Vec<NodeKind>,
+    pub(crate) counts: Vec<CsrMatrix>,
     /// Row/column margins of every materialized count, maintained
     /// incrementally alongside `counts` (the Dice denominators).
-    sums: Vec<MarginSums>,
+    pub(crate) sums: Vec<MarginSums>,
     /// Catalog position → index into `order`/`counts`.
-    catalog_pos: Vec<usize>,
-    threading: Threading,
-    stats: DeltaStats,
+    pub(crate) catalog_pos: Vec<usize>,
+    pub(crate) threading: Threading,
+    pub(crate) stats: DeltaStats,
 }
 
 impl fmt::Debug for DeltaCatalogCounts {
@@ -365,6 +372,13 @@ impl DeltaCatalogCounts {
     /// Work counters.
     pub fn stats(&self) -> DeltaStats {
         self.stats
+    }
+
+    /// The worker threading the store was built with (persisted with the
+    /// store by [`crate::codec`] — the single source of truth a restored
+    /// session's own knob is set from).
+    pub fn threading(&self) -> Threading {
+        self.threading
     }
 
     /// Validates and dedups `links` against the current anchors, returning

@@ -22,6 +22,8 @@
 //! * [`delta`] — incremental catalog recounting: anchor-chain counts are
 //!   low-rank updates `L·ΔA·R` in the newly confirmed anchors, so active
 //!   query rounds pay `O(|ΔA|)` instead of a full recount.
+//! * [`codec`] — binary encode/decode of the delta store and catalog
+//!   types, the payload layer of the session snapshot format.
 //! * [`proximity`] — the Dice-style meta diagram proximity of Definition 6.
 //! * [`catalog`] — assembly of the full feature catalog
 //!   Φ = P ∪ Ψf² ∪ Ψa² ∪ Ψf,a ∪ Ψf,a² ∪ Ψf²,a² (31 features).
@@ -35,6 +37,7 @@
 
 pub mod bruteforce;
 pub mod catalog;
+pub mod codec;
 pub mod count;
 pub mod covering;
 pub mod delta;

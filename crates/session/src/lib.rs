@@ -38,6 +38,19 @@
 //! not with the catalog — which is what makes the active-query loop
 //! interactive at paper scale.
 //!
+//! Because every stage owns its artifacts, staged state is also
+//! **restartable and shardable**:
+//!
+//! * [`snapshot`] persists a `Counted` stage to a versioned, checksummed
+//!   file and reopens it bit-identically in a fresh process — the full
+//!   catalog count is paid once per *dataset*, not once per process
+//!   (format spec: `docs/SNAPSHOT_FORMAT.md`);
+//! * [`pool`] serves many concurrent sessions in one process — slots
+//!   opened from snapshots, per-slot staged state, batch updates fanned
+//!   out over a bounded worker budget;
+//! * [`workers`] is the panic-safe, order-preserving fan-out primitive
+//!   the pool (and `eval::multi`) shard with.
+//!
 //! ## Example
 //!
 //! ```
@@ -81,9 +94,14 @@
 #![warn(missing_docs)]
 
 mod active;
+pub mod pool;
+pub mod snapshot;
 mod stages;
+pub mod workers;
 
 pub use active::{ActiveRunReport, RecountPolicy, RoundStat};
+pub use pool::{PoolError, SessionPool};
+pub use snapshot::SnapshotError;
 pub use stages::{AlignmentSession, Counted, Featurized, Fitted, ProximityRefresh, SessionBuilder};
 
 use metadiagram::count::EngineError;

@@ -1,0 +1,448 @@
+//! Many concurrent sessions over one process: the snapshot-serving pool.
+//!
+//! The active-alignment serving story (ROADMAP "Session checkpointing /
+//! serving") needs more than one query stream per process: each client —
+//! a fold rotation, a network pair, a tenant — owns an
+//! [`AlignmentSession`] with its own staged state, while the process
+//! bounds how many of them make progress at once. [`SessionPool`] is that
+//! shard manager:
+//!
+//! * sessions enter the pool either live ([`SessionPool::insert`]) or by
+//!   **opening a snapshot** ([`SessionPool::open`] /
+//!   [`SessionPool::open_many`], the latter sharding the decode work
+//!   across the worker budget) — at paper scale, opening is the
+//!   difference between milliseconds and a full catalog recount per
+//!   session (the `snapshot` bench bin measures it);
+//! * each slot tracks its session's **staged state** (`Counted` or
+//!   `Featurized`) behind its own lock, so independent sessions never
+//!   contend and a batch touching one session many times serializes
+//!   correctly;
+//! * batch operations ([`SessionPool::update_many`]) fan out over the
+//!   bounded, panic-safe, order-preserving worker runner
+//!   ([`crate::workers::run_ordered`]) — the same pattern
+//!   `eval::multi` shards pairwise evaluation with — returning results
+//!   in job order.
+//!
+//! Fitted stages stay out of the pool by design: a fit is a terminal,
+//! read-only artifact ([`AlignmentSession::into_report`]); serving keeps
+//! slots at the stage where anchor feedback can still be folded in.
+//!
+//! ## Example
+//!
+//! ```
+//! use session::pool::SessionPool;
+//! use session::SessionBuilder;
+//!
+//! let world = datagen::generate(&datagen::presets::tiny(13));
+//! let counted = SessionBuilder::new(world.left(), world.right())
+//!     .anchors(world.truth().links()[..6].to_vec())
+//!     .count()
+//!     .unwrap();
+//!
+//! let mut pool = SessionPool::new(2);
+//! let a = pool.insert(counted.clone());
+//! let b = pool.insert(counted);
+//! let extra = world.truth().links()[6..10].to_vec();
+//! let results = pool.update_many(&[(a, extra.clone()), (b, extra)]);
+//! assert_eq!(results.len(), 2);
+//! assert_eq!(*results[0].as_ref().unwrap(), 4);
+//! assert_eq!(pool.stats(b).unwrap().full_counts, 1); // still no recount
+//! ```
+
+use crate::snapshot::{self, SnapshotError};
+use crate::stages::{AlignmentSession, Counted, Featurized};
+use crate::workers::run_ordered;
+use crate::{AnchorEdge, SessionError};
+use hetnet::UserId;
+use metadiagram::DeltaStats;
+use std::fmt;
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard};
+
+/// Opaque handle to a pooled session. Ids are dense indices in insertion
+/// order and are never reused within a pool's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(usize);
+
+impl SessionId {
+    /// The slot index (stable for the pool's lifetime).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rehydrates an id from a slot index — for routing tables that
+    /// persist ids outside the pool (a serving frontend mapping tenants
+    /// to slots). Ids are only meaningful to the pool that issued them;
+    /// an index the pool never issued surfaces as
+    /// [`PoolError::UnknownSession`] on first use.
+    pub fn from_index(index: usize) -> Self {
+        SessionId(index)
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
+}
+
+/// Everything a pool operation can fail with.
+#[derive(Debug)]
+pub enum PoolError {
+    /// The id does not name a slot of this pool.
+    UnknownSession(usize),
+    /// The slot exists but its session is gone — a panic unwound through
+    /// a stage transition and vacated it. The pool stays usable; only
+    /// this slot is lost.
+    Vacated(usize),
+    /// The operation needs the other stage (e.g. featurizing an
+    /// already-featurized session).
+    WrongStage {
+        /// The offending slot.
+        id: usize,
+        /// The stage the operation required.
+        expected: &'static str,
+    },
+    /// Opening or saving a snapshot failed.
+    Snapshot(SnapshotError),
+    /// The underlying session operation failed.
+    Session(SessionError),
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::UnknownSession(id) => write!(f, "no session #{id} in this pool"),
+            PoolError::Vacated(id) => {
+                write!(
+                    f,
+                    "session #{id} was vacated by a panicked stage transition"
+                )
+            }
+            PoolError::WrongStage { id, expected } => {
+                write!(f, "session #{id} is not in the {expected} stage")
+            }
+            PoolError::Snapshot(e) => write!(f, "pool snapshot: {e}"),
+            PoolError::Session(e) => write!(f, "pool session: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PoolError::Snapshot(e) => Some(e),
+            PoolError::Session(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for PoolError {
+    fn from(e: SnapshotError) -> Self {
+        PoolError::Snapshot(e)
+    }
+}
+
+impl From<SessionError> for PoolError {
+    fn from(e: SessionError) -> Self {
+        PoolError::Session(e)
+    }
+}
+
+/// A slot's staged state.
+enum Staged {
+    Counted(AlignmentSession<Counted>),
+    Featurized(AlignmentSession<Featurized>),
+}
+
+/// A bounded shard manager over many [`AlignmentSession`]s; see the
+/// [module docs](self).
+pub struct SessionPool {
+    slots: Vec<Mutex<Option<Staged>>>,
+    workers: usize,
+}
+
+impl fmt::Debug for SessionPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionPool")
+            .field("sessions", &self.slots.len())
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl SessionPool {
+    /// A pool that fans batch operations out over at most `workers`
+    /// threads (`0` = one per available hardware thread). Session
+    /// *states* are bit-identical at any worker budget; so are per-job
+    /// results, except when two jobs in one batch target the same
+    /// session with overlapping edge sets — the final state still
+    /// converges, but which job gets credited with the shared merge
+    /// follows lock order (see [`SessionPool::update_many`]).
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        SessionPool {
+            slots: Vec::new(),
+            workers,
+        }
+    }
+
+    /// The effective worker budget.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Number of sessions (including vacated slots).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the pool holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    fn push(&mut self, staged: Staged) -> SessionId {
+        self.slots.push(Mutex::new(Some(staged)));
+        SessionId(self.slots.len() - 1)
+    }
+
+    /// Adds a live [`Counted`] session.
+    pub fn insert(&mut self, session: AlignmentSession<Counted>) -> SessionId {
+        self.push(Staged::Counted(session))
+    }
+
+    /// Adds a live [`Featurized`] session.
+    pub fn insert_featurized(&mut self, session: AlignmentSession<Featurized>) -> SessionId {
+        self.push(Staged::Featurized(session))
+    }
+
+    /// Opens the snapshot at `path` into a new slot.
+    ///
+    /// # Errors
+    /// [`PoolError::Snapshot`] when the snapshot cannot be restored; the
+    /// pool is unchanged in that case.
+    pub fn open(&mut self, path: impl AsRef<Path>) -> Result<SessionId, PoolError> {
+        let session = snapshot::open(path)?;
+        Ok(self.insert(session))
+    }
+
+    /// Opens many snapshots, sharding the decode work across the worker
+    /// budget, and returns one result per path **in path order**.
+    /// Successfully opened sessions are inserted in path order too, so
+    /// ids are deterministic; failed paths consume no slot.
+    pub fn open_many<P: AsRef<Path> + Sync>(
+        &mut self,
+        paths: &[P],
+    ) -> Vec<Result<SessionId, SnapshotError>> {
+        let mut opened: Vec<Result<AlignmentSession<Counted>, SnapshotError>> =
+            Vec::with_capacity(paths.len());
+        run_ordered(
+            paths.len(),
+            self.workers,
+            |i| snapshot::open(paths[i].as_ref()),
+            |r| opened.push(r),
+        );
+        opened
+            .into_iter()
+            .map(|r| r.map(|session| self.insert(session)))
+            .collect()
+    }
+
+    fn slot(&self, id: SessionId) -> Result<MutexGuard<'_, Option<Staged>>, PoolError> {
+        let m = self
+            .slots
+            .get(id.0)
+            .ok_or(PoolError::UnknownSession(id.0))?;
+        match m.lock() {
+            Ok(guard) => Ok(guard),
+            // A poisoned slot means a panic unwound mid-operation — the
+            // session may be torn (counts updated, margins not). Serving
+            // it would silently return wrong results, so the slot is
+            // vacated: the session is dropped, the poison cleared, and
+            // every later access gets the typed Vacated error.
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                *guard = None;
+                m.clear_poison();
+                Err(PoolError::Vacated(id.0))
+            }
+        }
+    }
+
+    /// Applies newly confirmed anchors to one session, on whichever stage
+    /// it is in (a `Featurized` slot also refreshes its downstream
+    /// artifacts, exactly like
+    /// [`AlignmentSession::update_anchors`]). Returns the number of
+    /// genuinely new anchors merged.
+    ///
+    /// # Errors
+    /// [`PoolError::UnknownSession`] / [`PoolError::Vacated`] for bad
+    /// slots; [`PoolError::Session`] when the update itself fails
+    /// (out-of-range endpoints — the session is unchanged).
+    pub fn update_anchors(&self, id: SessionId, edges: &[AnchorEdge]) -> Result<usize, PoolError> {
+        let mut guard = self.slot(id)?;
+        match guard.as_mut().ok_or(PoolError::Vacated(id.0))? {
+            Staged::Counted(s) => Ok(s.update_anchors(edges)?),
+            Staged::Featurized(s) => Ok(s.update_anchors(edges)?),
+        }
+    }
+
+    /// Applies a batch of per-session updates, sharded across the worker
+    /// budget; results come back **in job order**. Jobs naming the same
+    /// session serialize on its slot lock (each worker holds at most one
+    /// lock at a time, so no deadlock is possible); jobs naming distinct
+    /// sessions run concurrently.
+    ///
+    /// Final session states are bit-identical at any worker budget. The
+    /// per-job *returned counts* are too, except when two jobs in the
+    /// batch carry overlapping edges for the same session: the job that
+    /// wins the slot lock merges the shared edge and the other sees it
+    /// as already known, so the attribution (not the outcome) follows
+    /// lock order.
+    pub fn update_many(
+        &self,
+        jobs: &[(SessionId, Vec<AnchorEdge>)],
+    ) -> Vec<Result<usize, PoolError>> {
+        let mut results = Vec::with_capacity(jobs.len());
+        run_ordered(
+            jobs.len(),
+            self.workers,
+            |i| {
+                let (id, edges) = &jobs[i];
+                self.update_anchors(*id, edges)
+            },
+            |r| results.push(r),
+        );
+        results
+    }
+
+    /// Advances a [`Counted`] slot to [`Featurized`] in place.
+    ///
+    /// # Errors
+    /// [`PoolError::WrongStage`] when the slot is already featurized
+    /// (featurization is a one-way stage transition; re-featurizing with
+    /// different candidates means opening a fresh slot from the same
+    /// snapshot).
+    pub fn featurize(
+        &self,
+        id: SessionId,
+        candidates: Vec<(UserId, UserId)>,
+    ) -> Result<(), PoolError> {
+        let mut guard = self.slot(id)?;
+        match guard.take().ok_or(PoolError::Vacated(id.0))? {
+            Staged::Counted(s) => {
+                *guard = Some(Staged::Featurized(s.featurize(candidates)));
+                Ok(())
+            }
+            other => {
+                *guard = Some(other);
+                Err(PoolError::WrongStage {
+                    id: id.0,
+                    expected: "Counted",
+                })
+            }
+        }
+    }
+
+    /// Checkpoints a session's counted core back to disk — valid from
+    /// either stage (features and fits are derived artifacts a reopening
+    /// process re-derives; the counted core is what is expensive).
+    ///
+    /// # Errors
+    /// Slot errors as elsewhere; [`PoolError::Snapshot`] when the write
+    /// fails.
+    pub fn save(&self, id: SessionId, path: impl AsRef<Path>) -> Result<(), PoolError> {
+        let guard = self.slot(id)?;
+        let bytes = match guard.as_ref().ok_or(PoolError::Vacated(id.0))? {
+            Staged::Counted(s) => snapshot::to_bytes(s),
+            Staged::Featurized(s) => snapshot::counted_core_to_bytes(&s.catalog, &s.counts),
+        };
+        drop(guard); // the write needs no lock; don't hold it across I/O
+        Ok(snapshot::write_atomic(path.as_ref(), &bytes)?)
+    }
+
+    /// True when the slot has been featurized.
+    ///
+    /// # Errors
+    /// Slot errors as elsewhere.
+    pub fn is_featurized(&self, id: SessionId) -> Result<bool, PoolError> {
+        let guard = self.slot(id)?;
+        match guard.as_ref().ok_or(PoolError::Vacated(id.0))? {
+            Staged::Counted(_) => Ok(false),
+            Staged::Featurized(_) => Ok(true),
+        }
+    }
+
+    /// Current anchor count of one session.
+    ///
+    /// # Errors
+    /// Slot errors as elsewhere.
+    pub fn n_anchors(&self, id: SessionId) -> Result<usize, PoolError> {
+        let guard = self.slot(id)?;
+        match guard.as_ref().ok_or(PoolError::Vacated(id.0))? {
+            Staged::Counted(s) => Ok(s.n_anchors()),
+            Staged::Featurized(s) => Ok(s.n_anchors()),
+        }
+    }
+
+    /// Work counters of one session ([`AlignmentSession::stats`]).
+    ///
+    /// # Errors
+    /// Slot errors as elsewhere.
+    pub fn stats(&self, id: SessionId) -> Result<DeltaStats, PoolError> {
+        let guard = self.slot(id)?;
+        match guard.as_ref().ok_or(PoolError::Vacated(id.0))? {
+            Staged::Counted(s) => Ok(s.stats()),
+            Staged::Featurized(s) => Ok(s.stats()),
+        }
+    }
+
+    /// Runs `f` against a [`Counted`] slot under its lock.
+    ///
+    /// # Errors
+    /// [`PoolError::WrongStage`] when the slot is featurized; slot errors
+    /// as elsewhere.
+    pub fn with_counted<R>(
+        &self,
+        id: SessionId,
+        f: impl FnOnce(&AlignmentSession<Counted>) -> R,
+    ) -> Result<R, PoolError> {
+        let guard = self.slot(id)?;
+        match guard.as_ref().ok_or(PoolError::Vacated(id.0))? {
+            Staged::Counted(s) => Ok(f(s)),
+            Staged::Featurized(_) => Err(PoolError::WrongStage {
+                id: id.0,
+                expected: "Counted",
+            }),
+        }
+    }
+
+    /// Runs `f` against a [`Featurized`] slot under its lock (read
+    /// features, score candidates, build instances).
+    ///
+    /// # Errors
+    /// [`PoolError::WrongStage`] when the slot is still counted; slot
+    /// errors as elsewhere.
+    pub fn with_featurized<R>(
+        &self,
+        id: SessionId,
+        f: impl FnOnce(&AlignmentSession<Featurized>) -> R,
+    ) -> Result<R, PoolError> {
+        let guard = self.slot(id)?;
+        match guard.as_ref().ok_or(PoolError::Vacated(id.0))? {
+            Staged::Featurized(s) => Ok(f(s)),
+            Staged::Counted(_) => Err(PoolError::WrongStage {
+                id: id.0,
+                expected: "Featurized",
+            }),
+        }
+    }
+}

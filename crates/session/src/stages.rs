@@ -137,6 +137,13 @@ pub enum ProximityRefresh {
 #[derive(Debug, Clone)]
 pub struct Counted(());
 
+impl Counted {
+    /// Stage marker for sessions restored by [`crate::snapshot`].
+    pub(crate) fn new() -> Self {
+        Counted(())
+    }
+}
+
 /// Stage 2: [`Counted`] plus per-feature proximity matrices and the dense
 /// candidate feature matrix.
 #[derive(Debug, Clone)]

@@ -1,0 +1,304 @@
+//! Bounded, panic-safe, order-preserving fan-out — the one worker-pool
+//! pattern the workspace shards independent jobs with.
+//!
+//! Both multi-network evaluation (`eval::multi::for_each_pair_alignment`)
+//! and the snapshot-serving [`SessionPool`](crate::pool::SessionPool)
+//! face the same shape of problem: `n` independent jobs, a bounded worker
+//! budget, and a consumer that wants results **in job order** without
+//! buffering more than O(workers) of them when one job straggles. This
+//! module is that pattern extracted once:
+//!
+//! * workers claim job indices from a shared atomic counter — no
+//!   pre-partitioning, so stragglers don't idle their siblings;
+//! * a [`ClaimWindow`] counting semaphore caps claimed-but-unemitted jobs
+//!   at `2 × workers`, which bounds the consumer's reorder buffer;
+//! * every permit is an RAII guard released **on every exit path,
+//!   unwinding included** — a panicking worker can never strand blocked
+//!   siblings in `acquire` (the consumer would stop releasing, the scope
+//!   would block joining, and the panic would be masked by a hang). The
+//!   regression test `panicking_worker_propagates_instead_of_hanging`
+//!   pins this.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A counting semaphore bounding how many claimed-but-not-yet-emitted
+/// jobs may exist at once — the backpressure that keeps [`run_ordered`]'s
+/// reorder buffer at O(workers) even when one job straggles far behind
+/// the rest.
+pub struct ClaimWindow {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl ClaimWindow {
+    /// A window with `permits` slots.
+    pub fn new(permits: usize) -> Self {
+        ClaimWindow {
+            permits: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks for a permit. The returned guard releases it on drop —
+    /// including during unwinding. Call [`Permit::transfer`] once
+    /// responsibility for the release moves to the consumer.
+    pub fn acquire(&self) -> Permit<'_> {
+        let mut n = self
+            .permits
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *n == 0 {
+            n = self
+                .cv
+                .wait(n)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        *n -= 1;
+        Permit {
+            window: self,
+            armed: true,
+        }
+    }
+
+    /// Returns a permit to the window, waking blocked acquirers.
+    pub fn release(&self) {
+        *self
+            .permits
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+        self.cv.notify_all();
+    }
+}
+
+/// RAII claim-window permit (see [`ClaimWindow::acquire`]).
+pub struct Permit<'a> {
+    window: &'a ClaimWindow,
+    armed: bool,
+}
+
+impl Permit<'_> {
+    /// Hands the release duty to whoever now owns the claimed slot (the
+    /// consumer releases after emitting the job's result).
+    pub fn transfer(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.window.release();
+        }
+    }
+}
+
+/// What a worker sends the consumer.
+enum Msg<T> {
+    /// Job `.0` produced `.1`.
+    Done(usize, T),
+    /// `work` panicked; the payload is relayed so the caller's thread can
+    /// re-raise it.
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// Runs `work(0..n_items)` across at most `workers` scoped threads and
+/// feeds each result to `sink` **in index order**. With `workers <= 1`
+/// (or one job) everything runs serially on the caller's thread — results
+/// are identical either way, only the wall-clock differs.
+///
+/// At most `2 × workers` results are in flight at once (claimed by a
+/// worker or parked in the reorder buffer); a straggling early job
+/// throttles its siblings instead of growing the buffer to O(n).
+///
+/// # Panics
+/// A panic inside `work` propagates to the caller — never a hang. The
+/// naive claim-window design deadlocks here: the panicked job's result
+/// never arrives, the in-order emit stalls at its index, the consumer
+/// stops releasing permits, and the surviving workers block in `acquire`
+/// while holding channel senders the consumer is waiting on. Workers
+/// therefore catch the panic and relay it as a message; the consumer
+/// poisons the window (every subsequent acquire is told to give up),
+/// wakes all blocked workers, and re-raises the payload once the scope
+/// has joined.
+pub fn run_ordered<T, W, S>(n_items: usize, workers: usize, work: W, mut sink: S)
+where
+    T: Send,
+    W: Fn(usize) -> T + Sync,
+    S: FnMut(T),
+{
+    let workers = workers.min(n_items).max(1);
+    if workers <= 1 {
+        for i in 0..n_items {
+            sink(work(i));
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let window = ClaimWindow::new(workers * 2);
+    let poisoned = std::sync::atomic::AtomicBool::new(false);
+    let (tx, rx) = std::sync::mpsc::channel::<Msg<T>>();
+    let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let window = &window;
+            let poisoned = &poisoned;
+            let work = &work;
+            scope.spawn(move || loop {
+                // One permit per claimed job, held until the consumer
+                // emits it. The permit guard releases on every other exit
+                // path — jobs exhausted, receiver gone, poison observed —
+                // so blocked siblings always wake up.
+                let permit = window.acquire();
+                if poisoned.load(Ordering::SeqCst) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_items {
+                    break;
+                }
+                // AssertUnwindSafe: on Err the whole run is abandoned and
+                // the payload re-raised, so no state `work` may have left
+                // behind is ever observed again.
+                let msg = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(i))) {
+                    Ok(v) => Msg::Done(i, v),
+                    Err(p) => Msg::Panicked(p),
+                };
+                let panicking = matches!(msg, Msg::Panicked(_));
+                if tx.send(msg).is_err() || panicking {
+                    break;
+                }
+                permit.transfer();
+            });
+        }
+        drop(tx);
+        // Re-emit in job order; each emit returns a permit, so `pending`
+        // never holds more than the claim window.
+        let mut pending: std::collections::BTreeMap<usize, T> = std::collections::BTreeMap::new();
+        let mut next_emit = 0usize;
+        for msg in rx {
+            match msg {
+                Msg::Done(i, result) => {
+                    pending.insert(i, result);
+                    while let Some(ready) = pending.remove(&next_emit) {
+                        sink(ready);
+                        next_emit += 1;
+                        window.release();
+                    }
+                }
+                Msg::Panicked(p) => {
+                    panic_payload = Some(p);
+                    poisoned.store(true, Ordering::SeqCst);
+                    // Wake every worker that may be blocked in acquire;
+                    // each observes the poison and exits.
+                    for _ in 0..workers * 2 {
+                        window.release();
+                    }
+                    break;
+                }
+            }
+        }
+    });
+    if let Some(p) = panic_payload {
+        std::panic::resume_unwind(p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_arrive_in_order_at_any_worker_count() {
+        for workers in [0, 1, 2, 3, 8, 64] {
+            let mut seen = Vec::new();
+            run_ordered(20, workers, |i| i * i, |v| seen.push(v));
+            let want: Vec<usize> = (0..20).map(|i| i * i).collect();
+            assert_eq!(seen, want, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn zero_items_is_a_noop() {
+        let mut called = false;
+        run_ordered(0, 4, |i| i, |_| called = true);
+        assert!(!called);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+        run_ordered(
+            50,
+            4,
+            |i| {
+                counters[i].fetch_add(1, Ordering::SeqCst);
+                i
+            },
+            |_| {},
+        );
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "job {i}");
+        }
+    }
+
+    #[test]
+    fn straggler_does_not_grow_the_reorder_buffer_past_the_window() {
+        // Job 0 finishes last; the claim window must cap how far ahead
+        // the other workers can run (2 × workers jobs at most).
+        let workers = 3;
+        let max_ahead = AtomicUsize::new(0);
+        let claimed = AtomicUsize::new(0);
+        let emitted = AtomicUsize::new(0);
+        run_ordered(
+            40,
+            workers,
+            |i| {
+                let in_flight =
+                    claimed.fetch_add(1, Ordering::SeqCst) + 1 - emitted.load(Ordering::SeqCst);
+                max_ahead.fetch_max(in_flight, Ordering::SeqCst);
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                }
+                i
+            },
+            |_| {
+                emitted.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        // `claimed - emitted` can transiently exceed the permit count by
+        // the workers that have claimed but not yet recorded; the bound
+        // to pin is "window + workers", not "n_items".
+        assert!(
+            max_ahead.load(Ordering::SeqCst) <= workers * 2 + workers,
+            "reorder window exceeded: {} in flight",
+            max_ahead.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn panicking_worker_propagates_instead_of_hanging() {
+        // The claim-window regression: a worker that panics while holding
+        // a permit must release it during unwinding, so its siblings
+        // drain the remaining jobs and the scope join re-raises the
+        // panic — a deadlock here would hang the test suite, which is the
+        // failure mode this pins.
+        let result = std::panic::catch_unwind(|| {
+            run_ordered(
+                30,
+                3,
+                |i| {
+                    if i == 5 {
+                        panic!("job 5 exploded");
+                    }
+                    i
+                },
+                |_| {},
+            );
+        });
+        assert!(result.is_err(), "worker panic must propagate");
+    }
+}

@@ -1,0 +1,181 @@
+//! SessionPool integration: open-from-snapshot sharding, per-session
+//! staged state, and batch updates across the bounded worker pool.
+
+use session::pool::{PoolError, SessionPool};
+use session::{snapshot, SessionBuilder};
+use std::path::PathBuf;
+
+fn world(seed: u64) -> datagen::GeneratedWorld {
+    datagen::generate(&datagen::presets::tiny(seed))
+}
+
+fn counted(w: &datagen::GeneratedWorld, n: usize) -> session::AlignmentSession<session::Counted> {
+    SessionBuilder::new(w.left(), w.right())
+        .anchors(w.truth().links()[..n].to_vec())
+        .count()
+        .unwrap()
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pool-test-{}-{tag}.snap", std::process::id()))
+}
+
+#[test]
+fn open_many_shards_snapshots_and_preserves_path_order() {
+    let w = world(61);
+    let paths: Vec<PathBuf> = (0..5)
+        .map(|i| {
+            let s = counted(&w, 5 + i);
+            let p = temp_path(&format!("many-{i}"));
+            snapshot::save(&s, &p).unwrap();
+            p
+        })
+        .collect();
+    let mut pool = SessionPool::new(3);
+    let ids: Vec<_> = pool
+        .open_many(&paths)
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .unwrap();
+    assert_eq!(pool.len(), 5);
+    // Path order ⇒ id order ⇒ anchor counts 5, 6, 7, 8, 9.
+    for (i, &id) in ids.iter().enumerate() {
+        assert_eq!(id.index(), i);
+        assert_eq!(pool.n_anchors(id).unwrap(), 5 + i);
+        assert_eq!(pool.stats(id).unwrap().full_counts, 1, "reopen recounted");
+    }
+    for p in &paths {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn open_many_reports_bad_paths_without_consuming_slots() {
+    let w = world(62);
+    let good = temp_path("good");
+    snapshot::save(&counted(&w, 6), &good).unwrap();
+    let missing = temp_path("never-written");
+    let mut pool = SessionPool::new(2);
+    let results = pool.open_many(&[good.clone(), missing, good.clone()]);
+    assert!(results[0].is_ok());
+    assert!(results[1].is_err());
+    assert!(results[2].is_ok());
+    assert_eq!(pool.len(), 2, "failed open must not consume a slot");
+    std::fs::remove_file(&good).ok();
+}
+
+#[test]
+fn pooled_updates_match_a_standalone_session_bit_for_bit() {
+    let w = world(63);
+    let extra = w.truth().links()[8..16].to_vec();
+    let candidates: Vec<_> = w.truth().iter().map(|l| (l.left, l.right)).collect();
+
+    // Standalone reference.
+    let mut reference = counted(&w, 8).featurize(candidates.clone());
+    reference.update_anchors(&extra).unwrap();
+
+    // Pooled twin, updated through the batch path.
+    let mut pool = SessionPool::new(4);
+    let id = pool.insert(counted(&w, 8));
+    pool.featurize(id, candidates).unwrap();
+    let results = pool.update_many(&[(id, extra)]);
+    assert_eq!(*results[0].as_ref().unwrap(), 8);
+    pool.with_featurized(id, |s| {
+        assert_eq!(s.features().x.data(), reference.features().x.data());
+        for i in 0..s.catalog().len() {
+            assert_eq!(s.proximity_of(i), reference.proximity_of(i));
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn update_many_is_identical_at_any_worker_budget() {
+    let w = world(64);
+    let links = w.truth().links();
+    let jobs_for = |pool: &mut SessionPool| {
+        let a = pool.insert(counted(&w, 6));
+        let b = pool.insert(counted(&w, 6));
+        let c = pool.insert(counted(&w, 6));
+        vec![
+            (a, links[6..9].to_vec()),
+            (b, links[9..12].to_vec()),
+            (c, links[12..15].to_vec()),
+            (a, links[9..12].to_vec()), // same session twice: serializes
+        ]
+    };
+    let mut serial = SessionPool::new(1);
+    let serial_jobs = jobs_for(&mut serial);
+    let serial_results: Vec<usize> = serial
+        .update_many(&serial_jobs)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    let mut wide = SessionPool::new(8);
+    let wide_jobs = jobs_for(&mut wide);
+    let wide_results: Vec<usize> = wide
+        .update_many(&wide_jobs)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    assert_eq!(serial_results, wide_results);
+    for id in [serial_jobs[0].0, serial_jobs[1].0, serial_jobs[2].0] {
+        let s = serial.stats(id).unwrap();
+        let w_ = wide.stats(id).unwrap();
+        assert_eq!(s.anchors_applied, w_.anchors_applied);
+        assert_eq!(s.full_counts, 1);
+        assert_eq!(w_.full_counts, 1);
+    }
+}
+
+#[test]
+fn staged_state_is_tracked_per_slot() {
+    let w = world(65);
+    let candidates: Vec<_> = w.truth().iter().map(|l| (l.left, l.right)).collect();
+    let mut pool = SessionPool::new(2);
+    let a = pool.insert(counted(&w, 6));
+    let b = pool.insert(counted(&w, 6));
+    assert!(!pool.is_featurized(a).unwrap());
+    pool.featurize(a, candidates.clone()).unwrap();
+    assert!(pool.is_featurized(a).unwrap());
+    assert!(!pool.is_featurized(b).unwrap(), "stages are per-slot");
+    // Featurizing twice is a stage error, and the slot survives it.
+    assert!(matches!(
+        pool.featurize(a, candidates),
+        Err(PoolError::WrongStage { .. })
+    ));
+    assert!(pool.is_featurized(a).unwrap());
+    // Stage-specific accessors enforce the stage.
+    assert!(pool.with_counted(a, |_| ()).is_err());
+    assert!(pool.with_counted(b, |_| ()).is_ok());
+    assert!(pool.with_featurized(b, |_| ()).is_err());
+}
+
+#[test]
+fn unknown_ids_and_checkpointing_round_trip() {
+    let w = world(66);
+    let mut pool = SessionPool::new(2);
+    let id = pool.insert(counted(&w, 7));
+    // A foreign id (from another pool) is rejected, not conflated.
+    let mut other = SessionPool::new(1);
+    let foreign = other.insert(counted(&w, 5));
+    let _ = foreign;
+    assert!(matches!(
+        pool.n_anchors(session::pool::SessionId::from_index(99)),
+        Err(PoolError::UnknownSession(99))
+    ));
+    // Checkpoint a pooled session (after featurizing — the counted core
+    // is saved from either stage), reopen it elsewhere, states agree.
+    let candidates: Vec<_> = w.truth().iter().map(|l| (l.left, l.right)).collect();
+    pool.featurize(id, candidates).unwrap();
+    pool.update_anchors(id, &w.truth().links()[7..12]).unwrap();
+    let path = temp_path("checkpoint");
+    pool.save(id, &path).unwrap();
+    let reopened = snapshot::open(&path).unwrap();
+    assert_eq!(reopened.n_anchors(), pool.n_anchors(id).unwrap());
+    assert_eq!(
+        reopened.stats().anchors_applied,
+        pool.stats(id).unwrap().anchors_applied
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -7,7 +7,7 @@
 //! * [`CooMatrix`] — triplet builder used when extracting typed adjacency
 //!   matrices from heterogeneous networks;
 //! * [`CsrMatrix`] — compressed sparse row storage with the operations the
-//!   meta-path/meta-diagram count engine relies on: [`spgemm`] (Gustavson
+//!   meta-path/meta-diagram count engine relies on: [`spgemm()`] (Gustavson
 //!   sparse × sparse product, with a row-partitioned parallel variant
 //!   [`spgemm_par`] controlled by the [`Threading`] knob),
 //!   [`CsrMatrix::hadamard`] (the stacking operator
@@ -16,14 +16,17 @@
 //! * [`CholeskyFactor`] and [`RidgeSolver`] — the paper's closed-form inner
 //!   update `w = c (I + c XᵀX)⁻¹ Xᵀ y` (Section III-D, step 1-1).
 //!
-//! The crate is deliberately free of `unsafe` and of external dependencies;
-//! correctness is established by unit tests in every module plus property
-//! tests against naive dense references.
+//! The crate is deliberately free of `unsafe`; its only dependency is the
+//! vendored `serde` stand-in's byte codec, which [`codec`] builds on to
+//! persist matrices and margins for the snapshot subsystem. Correctness is
+//! established by unit tests in every module plus property tests against
+//! naive dense references.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chol;
+pub mod codec;
 pub mod coo;
 pub mod csr;
 pub mod dense;

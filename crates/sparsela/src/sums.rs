@@ -17,6 +17,13 @@
 //! incremental additions/subtractions are bit-equal to a full rescan as
 //! long as every intermediate stays below `2^53` (far above any realistic
 //! instance count). Property tests in `metadiagram` pin the equality.
+//!
+//! Margins are persisted alongside their matrix by the snapshot codec
+//! ([`crate::codec::encode_margins`] / [`crate::codec::decode_margins`]);
+//! on open, [`MarginSums::matches`] doubles as the cross-section
+//! integrity check — stored margins that do not equal a rescan of the
+//! decoded counts refuse the snapshot, because a drifted Dice
+//! denominator would silently skew every downstream proximity.
 
 use crate::csr::CsrMatrix;
 use crate::error::{Result, SparseError};
@@ -36,6 +43,15 @@ impl MarginSums {
             row: m.row_sums(),
             col: m.col_sums(),
         }
+    }
+
+    /// Reassembles margins from their raw arrays — the decode half of
+    /// [`crate::codec::encode_margins`]. The caller asserts the arrays
+    /// really are the margins of some matrix; [`MarginSums::matches`] is
+    /// the cross-check (the snapshot layer runs it against every decoded
+    /// count matrix before trusting either).
+    pub fn from_parts(row: Vec<f64>, col: Vec<f64>) -> Self {
+        MarginSums { row, col }
     }
 
     /// The shape these margins describe.

@@ -1,0 +1,114 @@
+//! Checkpointing and snapshot serving: pay the catalog count once, reopen
+//! it everywhere.
+//!
+//! A "serving process" for active alignment wants to answer anchor-update
+//! and scoring traffic for many tenants without paying the expensive part
+//! of a session — the full 31-template meta-diagram count — per process
+//! start or per tenant. This example walks the whole story:
+//!
+//! 1. **Checkpoint**: build one `Counted` session (the expensive step,
+//!    timed), save it with `session::snapshot::save` — a versioned,
+//!    checksummed binary file (see `docs/SNAPSHOT_FORMAT.md`).
+//! 2. **Reopen**: `session::snapshot::open` restores the session
+//!    bit-identically (timed — this is what a fresh process pays instead
+//!    of the count).
+//! 3. **Serve**: a `SessionPool` opens one slot per tenant from the same
+//!    snapshot, fans a batch of per-tenant anchor updates over its
+//!    bounded worker pool, and featurizes one tenant for scoring — while
+//!    every slot's `stats()` proves nobody ever recounted.
+//!
+//! ```sh
+//! cargo run --release --example snapshot_serving
+//! ```
+
+use social_align::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let world = datagen::generate(&datagen::presets::small(42));
+    let links = world.truth().links().to_vec();
+    let train = links[..links.len() / 2].to_vec();
+
+    // 1. Checkpoint: one full count, persisted.
+    let t = Instant::now();
+    let counted = SessionBuilder::new(world.left(), world.right())
+        .anchors(train)
+        .count()
+        .expect("generated networks share attribute universes");
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let path = std::env::temp_dir().join("snapshot_serving_demo.snap");
+    let t = Instant::now();
+    snapshot::save(&counted, &path).expect("save snapshot");
+    let save_ms = t.elapsed().as_secs_f64() * 1e3;
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("build (full catalog count): {build_ms:7.2} ms");
+    println!("save checkpoint:            {save_ms:7.2} ms  ({bytes} bytes)");
+
+    // 2. Reopen — what a fresh process pays instead of the count.
+    let t = Instant::now();
+    let reopened = snapshot::open(&path).expect("open snapshot");
+    let open_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "open from checkpoint:       {open_ms:7.2} ms  ({:.1}× faster than rebuild)",
+        build_ms / open_ms.max(1e-9)
+    );
+    assert_eq!(reopened.stats().full_counts, 1, "reopen never recounts");
+
+    // 3. Serve: one slot per tenant, all from the same snapshot.
+    let n_tenants = 4;
+    let mut pool = SessionPool::new(0); // 0 = one worker per hardware thread
+    let paths: Vec<_> = (0..n_tenants).map(|_| path.clone()).collect();
+    let t = Instant::now();
+    let ids: Vec<_> = pool
+        .open_many(&paths)
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .expect("open tenant slots");
+    println!(
+        "pool: opened {n_tenants} tenant sessions in {:.2} ms ({} workers)",
+        t.elapsed().as_secs_f64() * 1e3,
+        pool.workers()
+    );
+
+    // Each tenant confirms a different batch of anchors; the pool fans
+    // the updates out and returns results in job order.
+    let held_out = &links[links.len() / 2..];
+    let jobs: Vec<_> = ids
+        .iter()
+        .enumerate()
+        .map(|(t, &id)| {
+            let chunk = held_out.chunks(held_out.len() / n_tenants).nth(t).unwrap();
+            (id, chunk.to_vec())
+        })
+        .collect();
+    let t = Instant::now();
+    let results = pool.update_many(&jobs);
+    let update_ms = t.elapsed().as_secs_f64() * 1e3;
+    for ((id, edges), result) in jobs.iter().zip(&results) {
+        let applied = result.as_ref().expect("update");
+        println!(
+            "  {id}: merged {applied}/{} anchors → {} total, full_counts still {}",
+            edges.len(),
+            pool.n_anchors(*id).unwrap(),
+            pool.stats(*id).unwrap().full_counts
+        );
+    }
+    println!("pool: {n_tenants} tenant updates in {update_ms:.2} ms");
+
+    // One tenant advances to scoring; the others stay counted.
+    let candidates: Vec<(UserId, UserId)> = links.iter().map(|l| (l.left, l.right)).collect();
+    pool.featurize(ids[0], candidates)
+        .expect("featurize tenant 0");
+    let n_features = pool
+        .with_featurized(ids[0], |s| s.features().n_features())
+        .expect("tenant 0 is featurized");
+    println!(
+        "tenant {} featurized: {n_features} features over {} candidates; tenant {} still counted",
+        ids[0],
+        links.len(),
+        ids[1]
+    );
+    assert!(!pool.is_featurized(ids[1]).unwrap());
+
+    std::fs::remove_file(&path).ok();
+}

@@ -88,6 +88,7 @@ pub mod prelude {
     pub use hetnet::{AlignedPair, AnchorLink, AnchorSet, HetNet, HetNetBuilder, UserId};
     pub use metadiagram::{Catalog, CountEngine, Diagram, FeatureSet};
     pub use session::{
-        ActiveRunReport, AlignmentSession, AnchorEdge, RecountPolicy, SessionBuilder,
+        snapshot, ActiveRunReport, AlignmentSession, AnchorEdge, RecountPolicy, SessionBuilder,
+        SessionPool,
     };
 }

@@ -3,7 +3,7 @@
 //! The build environment has no crates.io access, so this crate implements
 //! the subset of the proptest API the workspace's property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_flat_map` and `boxed`;
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_flat_map` and `boxed`;
 //! * range strategies over integers and floats, tuple strategies up to
 //!   arity 8, [`strategy::Just`], weighted [`prop_oneof!`] unions, and
 //!   [`collection::vec`];
@@ -27,7 +27,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Size specification for [`vec`]: an exact length or a length range.
+    /// Size specification for [`vec()`]: an exact length or a length range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

@@ -1,0 +1,492 @@
+//! A minimal little-endian binary codec — the serializer layer the
+//! stand-in otherwise lacks.
+//!
+//! The real `serde` delegates wire formats to companion crates (`bincode`,
+//! `serde_json`, …), none of which are vendored. The snapshot subsystem
+//! (`session::snapshot`) needs exactly one format: a deterministic,
+//! versioned, checksummed byte stream. This module supplies the
+//! byte-level primitives that format is built from:
+//!
+//! * [`Writer`] — append-only little-endian encoder over an owned buffer;
+//! * [`Reader`] — bounds-checked cursor over a borrowed byte slice, whose
+//!   every read can fail with a typed [`Error`] instead of panicking
+//!   (truncated or hostile input must surface as an error, never as UB or
+//!   a wrong value silently accepted);
+//! * [`crc32`] — the CRC-32/ISO-HDLC checksum (the one zip/png/gzip use),
+//!   used to detect bit-rot inside snapshot sections.
+//!
+//! Encoding conventions shared by every codec built on this module:
+//! integers are fixed-width little-endian, `usize` travels as `u64`,
+//! `f64` as its IEEE-754 bit pattern (bit-exact round-trips, NaN
+//! payloads preserved), sequences as a `u64` length followed by the
+//! elements. There is no varint layer — snapshot payloads are dominated
+//! by `f64`/`u64` arrays, so fixed width costs little and keeps offsets
+//! computable.
+
+use std::fmt;
+
+/// A decoding failure. Every variant means "refuse the input": the codec
+/// never guesses around malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The input ended before a read completed.
+    UnexpectedEof {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes that remained.
+        remaining: usize,
+    },
+    /// A length prefix exceeds what the remaining input could possibly
+    /// hold, or does not fit in `usize` on this platform.
+    BadLength {
+        /// The declared length.
+        declared: u64,
+        /// Bytes that remained.
+        remaining: usize,
+    },
+    /// A tag, magic number, or invariant check failed; the message names
+    /// what was expected.
+    Malformed(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof { needed, remaining } => {
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} remain"
+                )
+            }
+            Error::BadLength {
+                declared,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "declared length {declared} exceeds remaining input ({remaining} bytes)"
+                )
+            }
+            Error::Malformed(what) => write!(f, "malformed input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Shorthand result for decoding.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Clone, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// A writer pre-sized for roughly `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// A view of the encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a little-endian `u64` (portable across word
+    /// sizes).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an `f64` as its IEEE-754 little-endian bit pattern —
+    /// bit-exact on round-trip, NaN payloads included.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends raw bytes (no length prefix — pair with [`Writer::usize`]
+    /// when the length is not implied by context).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a `u64` length prefix followed by the slice's `usize`
+    /// elements (each as `u64`).
+    pub fn usize_slice(&mut self, v: &[usize]) {
+        self.usize(v.len());
+        for &x in v {
+            self.usize(x);
+        }
+    }
+
+    /// Appends a `u64` length prefix followed by the slice's `f64`
+    /// elements (bit patterns).
+    pub fn f64_slice(&mut self, v: &[f64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.f64(x);
+        }
+    }
+}
+
+/// Bounds-checked little-endian cursor over borrowed bytes.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at its start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current read position (bytes consumed).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// [`Error::UnexpectedEof`] when the input is exhausted.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    /// [`Error::UnexpectedEof`] when fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    /// [`Error::UnexpectedEof`] when fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `u64` and converts it to `usize`.
+    ///
+    /// # Errors
+    /// [`Error::UnexpectedEof`] on exhausted input; [`Error::BadLength`]
+    /// when the value does not fit a `usize` on this platform.
+    pub fn usize(&mut self) -> Result<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| Error::BadLength {
+            declared: v,
+            remaining: self.remaining(),
+        })
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    ///
+    /// # Errors
+    /// [`Error::UnexpectedEof`] when fewer than 8 bytes remain.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads exactly `n` raw bytes.
+    ///
+    /// # Errors
+    /// [`Error::UnexpectedEof`] when fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Reads a length prefix destined for a sequence of elements at least
+    /// `min_elem_bytes` wide each, rejecting prefixes the remaining input
+    /// cannot possibly satisfy — the guard that keeps a corrupted length
+    /// from triggering a huge allocation before the EOF is noticed.
+    ///
+    /// # Errors
+    /// [`Error::UnexpectedEof`] / [`Error::BadLength`] as for
+    /// [`Reader::usize`], plus [`Error::BadLength`] when
+    /// `len * min_elem_bytes` exceeds the remaining input.
+    pub fn seq_len(&mut self, min_elem_bytes: usize) -> Result<usize> {
+        let len = self.usize()?;
+        let needed = (len as u64).saturating_mul(min_elem_bytes.max(1) as u64);
+        if needed > self.remaining() as u64 {
+            return Err(Error::BadLength {
+                declared: len as u64,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+
+    /// Reads a `u64`-length-prefixed sequence of `usize` values.
+    ///
+    /// The payload is taken as one bounds-checked slice and converted
+    /// with `chunks_exact` — one check for the whole array instead of one
+    /// per element, which matters when snapshot decode walks tens of
+    /// millions of indices.
+    ///
+    /// # Errors
+    /// As for [`Reader::seq_len`] and [`Reader::usize`].
+    pub fn usize_slice(&mut self) -> Result<Vec<usize>> {
+        let len = self.seq_len(8)?;
+        let raw = self.take(len * 8)?;
+        let mut out = Vec::with_capacity(len);
+        for chunk in raw.chunks_exact(8) {
+            let v = u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8)"));
+            out.push(usize::try_from(v).map_err(|_| Error::BadLength {
+                declared: v,
+                remaining: self.remaining(),
+            })?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a `u64`-length-prefixed sequence of `f64` bit patterns (one
+    /// bounds check for the whole array, as for [`Reader::usize_slice`]).
+    ///
+    /// # Errors
+    /// As for [`Reader::seq_len`] and [`Reader::f64`].
+    pub fn f64_slice(&mut self) -> Result<Vec<f64>> {
+        let len = self.seq_len(8)?;
+        let raw = self.take(len * 8)?;
+        let mut out = Vec::with_capacity(len);
+        for chunk in raw.chunks_exact(8) {
+            out.push(f64::from_bits(u64::from_le_bytes(
+                chunk.try_into().expect("chunks_exact(8)"),
+            )));
+        }
+        Ok(out)
+    }
+}
+
+/// CRC-32/ISO-HDLC (reflected, polynomial `0xEDB88320`, initial and final
+/// XOR `0xFFFFFFFF`) — the checksum of zip, gzip and png.
+///
+/// Uses slicing-by-8: eight derived 256-entry tables (built once,
+/// process-wide) let the loop fold 8 input bytes per iteration instead of
+/// one, which keeps checksumming a multi-megabyte snapshot section well
+/// under the cost of decoding it — the checksum pass must never dominate
+/// open-from-snapshot, whose whole point is beating a rebuild.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLES: std::sync::OnceLock<Box<[[u32; 256]; 8]>> = std::sync::OnceLock::new();
+    let tables = TABLES.get_or_init(|| {
+        let mut t = Box::new([[0u32; 256]; 8]);
+        for i in 0..256usize {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            t[0][i] = c;
+        }
+        for i in 0..256usize {
+            let mut c = t[0][i];
+            for k in 1..8 {
+                c = t[0][(c & 0xFF) as usize] ^ (c >> 8);
+                t[k][i] = c;
+            }
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().expect("chunk of 8")) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().expect("chunk of 8"));
+        crc = tables[7][(lo & 0xFF) as usize]
+            ^ tables[6][((lo >> 8) & 0xFF) as usize]
+            ^ tables[5][((lo >> 16) & 0xFF) as usize]
+            ^ tables[4][((lo >> 24) & 0xFF) as usize]
+            ^ tables[3][(hi & 0xFF) as usize]
+            ^ tables[2][((hi >> 8) & 0xFF) as usize]
+            ^ tables[1][((hi >> 16) & 0xFF) as usize]
+            ^ tables[0][((hi >> 24) & 0xFF) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = tables[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(0xAB);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.usize(12345);
+        w.f64(-0.1);
+        w.bytes(b"abc");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.usize().unwrap(), 12345);
+        assert_eq!(r.f64().unwrap(), -0.1);
+        assert_eq!(r.bytes(3).unwrap(), b"abc");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn f64_round_trip_is_bit_exact() {
+        for v in [0.0, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let mut w = Writer::new();
+            w.f64(v);
+            let bytes = w.into_bytes();
+            let back = Reader::new(&bytes).f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn slices_round_trip() {
+        let mut w = Writer::new();
+        w.usize_slice(&[0, 7, usize::MAX]);
+        w.f64_slice(&[1.0, -2.5]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.usize_slice().unwrap(), vec![0, 7, usize::MAX]);
+        assert_eq!(r.f64_slice().unwrap(), vec![1.0, -2.5]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let mut w = Writer::new();
+        w.u64(42);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(matches!(r.u64(), Err(Error::UnexpectedEof { .. })));
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX); // a length prefix no input could satisfy
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.f64_slice(), Err(Error::BadLength { .. })));
+        // And one that fits usize but not the remaining bytes.
+        let mut w = Writer::new();
+        w.usize(1000);
+        w.f64(1.0);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.usize_slice(), Err(Error::BadLength { .. })));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical CRC-32/ISO-HDLC check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // A single flipped bit changes the checksum.
+        assert_ne!(crc32(b"hello world"), crc32(b"hello worle"));
+    }
+
+    #[test]
+    fn reader_tracks_position_and_remaining() {
+        let bytes = [1u8, 2, 3, 4];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.remaining(), 4);
+        r.u8().unwrap();
+        assert_eq!(r.position(), 1);
+        assert_eq!(r.remaining(), 3);
+        assert!(!r.is_exhausted());
+    }
+
+    #[test]
+    fn error_displays_name_the_failure() {
+        let eof = Error::UnexpectedEof {
+            needed: 8,
+            remaining: 3,
+        };
+        assert!(eof.to_string().contains("needed 8"));
+        let len = Error::BadLength {
+            declared: 99,
+            remaining: 1,
+        };
+        assert!(len.to_string().contains("99"));
+        assert!(Error::Malformed("bad tag".into())
+            .to_string()
+            .contains("bad tag"));
+    }
+}

@@ -1,12 +1,19 @@
 //! Offline stand-in for `serde`.
 //!
 //! The build environment has no crates.io access. The workspace uses serde
-//! only as derive annotations on result types (there is no serializer crate
-//! in the tree), so this stand-in re-exports no-op derive macros plus empty
-//! marker traits under the same names.
+//! in two ways:
+//!
+//! * as derive annotations on result types — this stand-in re-exports
+//!   no-op derive macros plus empty marker traits under the same names;
+//! * as the byte-level codec behind the snapshot subsystem — the real
+//!   serde delegates wire formats to companion crates (none vendored), so
+//!   the [`bin`] module supplies a minimal little-endian binary codec
+//!   (bounds-checked reader, checksums) in their place.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod bin;
 
 pub use serde_derive::{Deserialize, Serialize};
 

@@ -3,7 +3,8 @@
 //! noise threshold.
 //!
 //! ```sh
-//! perf_gate --baseline bench-baseline --fresh . [--tolerance 0.5] [--slack-ms 15]
+//! perf_gate --baseline bench-baseline --fresh . [--tolerance 0.5] [--slack-ms 15] \
+//!     [--paired new-method:ref-method]...
 //! ```
 //!
 //! A cell regresses when its fresh wall-clock exceeds the baseline by more
@@ -15,6 +16,15 @@
 //! branch) gates nothing — the fresh records simply become the next
 //! baseline. F1 drift is reported as context. Exit code 1 when any cell
 //! regresses.
+//!
+//! `--paired` additionally compares two methods **within the fresh
+//! records**: in every (bench, cell) where both methods were measured, the
+//! `new` method must not exceed the `ref` method by tolerance + slack.
+//! This gates the fast path against its reference path inside a single
+//! run — same machine, same load — so it works from the very first CI run
+//! with no baseline at all, and is how the per-dimension cells of
+//! `BENCH_session_delta.json` (`splice:add`, `region-exact:region-union`,
+//! `dag:levels`, `prox-delta:prox-full`) are enforced.
 //!
 //! The records are the flat documents written by
 //! [`bench::record::BenchRecorder`];
@@ -161,11 +171,54 @@ fn gate(baseline: &Records, fresh: &Records, tolerance: f64, slack_ms: f64) -> G
     report
 }
 
+/// In-run comparison of two methods over every shared (bench, cell): the
+/// `new` method regresses where it exceeds the `ref` method by tolerance +
+/// slack. Needs no baseline — both sides come from the same fresh run.
+fn gate_paired(
+    fresh: &Records,
+    pairs: &[(String, String)],
+    tolerance: f64,
+    slack_ms: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    for (new_method, ref_method) in pairs {
+        for (key, new_cell) in fresh {
+            if &key.1 != new_method {
+                continue;
+            }
+            let ref_key = (key.0.clone(), ref_method.clone(), key.2.clone());
+            let Some(ref_cell) = fresh.get(&ref_key) else {
+                report.lines.push(format!(
+                    "paired: {}/{} has no {ref_method} partner in {}",
+                    key.0, new_method, key.2
+                ));
+                continue;
+            };
+            report.compared += 1;
+            let (r, f) = (ref_cell.wall_ms, new_cell.wall_ms);
+            let regressed = f > r * (1.0 + tolerance) && f > r + slack_ms;
+            if regressed {
+                report.lines.push(format!(
+                    "PAIRED REGRESSION: {}/{}  {new_method} {:.1} ms vs {ref_method} {:.1} ms ({:+.0}%)",
+                    key.0,
+                    key.2,
+                    f,
+                    r,
+                    (f / r - 1.0) * 100.0
+                ));
+                report.regressions.push(key.clone());
+            }
+        }
+    }
+    report
+}
+
 struct Opts {
     baseline: PathBuf,
     fresh: PathBuf,
     tolerance: f64,
     slack_ms: f64,
+    paired: Vec<(String, String)>,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -173,6 +226,7 @@ fn parse_opts() -> Result<Opts, String> {
     let mut fresh = None;
     let mut tolerance = 0.5f64;
     let mut slack_ms = 15.0f64;
+    let mut paired = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -192,6 +246,16 @@ fn parse_opts() -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("--slack-ms: {e}"))?
             }
+            "--paired" => {
+                let spec = value("--paired")?;
+                let (new_method, ref_method) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--paired expects new:ref, got {spec}"))?;
+                if new_method.is_empty() || ref_method.is_empty() {
+                    return Err(format!("--paired expects new:ref, got {spec}"));
+                }
+                paired.push((new_method.to_string(), ref_method.to_string()));
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -200,6 +264,7 @@ fn parse_opts() -> Result<Opts, String> {
         fresh: fresh.ok_or("--fresh <dir> is required")?,
         tolerance,
         slack_ms,
+        paired,
     })
 }
 
@@ -228,27 +293,43 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // The paired gate runs on the fresh records alone — it holds even on a
+    // cold cache, where the trajectory gate has nothing to diff.
+    let paired_report = gate_paired(&fresh, &opts.paired, opts.tolerance, opts.slack_ms);
+    for line in &paired_report.lines {
+        println!("  {line}");
+    }
+    if !opts.paired.is_empty() {
+        println!(
+            "perf_gate: paired {} cells across {} method pair(s): {} regression(s)",
+            paired_report.compared,
+            opts.paired.len(),
+            paired_report.regressions.len()
+        );
+    }
+
+    let mut regressions = paired_report.regressions.len();
     if baseline.is_empty() {
         println!(
             "perf_gate: baseline is empty or missing — nothing to gate against \
              (cold cache / first run); recording fresh cells only"
         );
-        return ExitCode::SUCCESS;
+    } else {
+        let report = gate(&baseline, &fresh, opts.tolerance, opts.slack_ms);
+        for line in &report.lines {
+            println!("  {line}");
+        }
+        println!(
+            "perf_gate: compared {} cells, {} new (tolerance {:.0}% + {:.0} ms slack): {} regression(s)",
+            report.compared,
+            report.new_cells,
+            opts.tolerance * 100.0,
+            opts.slack_ms,
+            report.regressions.len()
+        );
+        regressions += report.regressions.len();
     }
-
-    let report = gate(&baseline, &fresh, opts.tolerance, opts.slack_ms);
-    for line in &report.lines {
-        println!("  {line}");
-    }
-    println!(
-        "perf_gate: compared {} cells, {} new (tolerance {:.0}% + {:.0} ms slack): {} regression(s)",
-        report.compared,
-        report.new_cells,
-        opts.tolerance * 100.0,
-        opts.slack_ms,
-        report.regressions.len()
-    );
-    if report.regressions.is_empty() {
+    if regressions == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -306,6 +387,48 @@ mod tests {
         let mut fresh = Records::new();
         fresh.insert(key("hot"), cell(110.0));
         assert!(gate(&baseline, &fresh, 0.5, 15.0).regressions.is_empty());
+    }
+
+    fn method_key(method: &str, cell: &str) -> (String, String, String) {
+        ("b".into(), method.into(), cell.into())
+    }
+
+    fn pairs(spec: &[(&str, &str)]) -> Vec<(String, String)> {
+        spec.iter()
+            .map(|&(n, r)| (n.to_string(), r.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn paired_gate_fails_when_the_fast_method_loses_within_one_run() {
+        let mut fresh = Records::new();
+        fresh.insert(method_key("splice", "table4-b5"), cell(120.0));
+        fresh.insert(method_key("add", "table4-b5"), cell(50.0));
+        // A healthy cell of the same pair.
+        fresh.insert(method_key("splice", "tiny-b5"), cell(1.0));
+        fresh.insert(method_key("add", "tiny-b5"), cell(2.0));
+        let report = gate_paired(&fresh, &pairs(&[("splice", "add")]), 0.5, 15.0);
+        assert_eq!(report.compared, 2);
+        assert_eq!(report.regressions, vec![method_key("splice", "table4-b5")]);
+        assert!(report.lines.iter().any(|l| l.contains("PAIRED REGRESSION")));
+    }
+
+    #[test]
+    fn paired_gate_needs_no_baseline_and_respects_slack() {
+        let mut fresh = Records::new();
+        // 3x slower but within the absolute slack: CI-runner noise.
+        fresh.insert(method_key("dag", "tiny-t2"), cell(3.0));
+        fresh.insert(method_key("levels", "tiny-t2"), cell(1.0));
+        let report = gate_paired(&fresh, &pairs(&[("dag", "levels")]), 0.5, 15.0);
+        assert_eq!(report.compared, 1);
+        assert!(report.regressions.is_empty());
+        // A missing partner is reported, never failed.
+        let mut fresh = Records::new();
+        fresh.insert(method_key("dag", "tiny-t2"), cell(3.0));
+        let report = gate_paired(&fresh, &pairs(&[("dag", "levels")]), 0.5, 15.0);
+        assert_eq!(report.compared, 0);
+        assert!(report.regressions.is_empty());
+        assert!(report.lines.iter().any(|l| l.contains("no levels partner")));
     }
 
     #[test]

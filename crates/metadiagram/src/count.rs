@@ -86,12 +86,11 @@ impl std::error::Error for EngineError {}
 
 /// Counters exposed for the covering-set-reuse ablation.
 ///
-/// Stats are **generation-tagged**: [`CountEngine::reset`] clears the
-/// counters but bumps [`EngineStats::generation`], so a caller comparing
-/// stats snapshots across a reset — or holding `Arc<CsrMatrix>` counts
-/// produced before one — can detect that its artifacts and the counters no
-/// longer describe the same cache lifetime. Two snapshots are comparable
-/// only when their generations match.
+/// Counters accumulate over the engine's whole lifetime. An engine's cache
+/// is never cleared in place — callers that need a fresh cache lifetime
+/// build a fresh engine (or let `session::AlignmentSession` rebuild or
+/// delta-update its stage artifacts), so any two snapshots from the same
+/// engine always describe the same cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Diagram-level cache hits.
@@ -102,8 +101,6 @@ pub struct EngineStats {
     pub spgemm_calls: usize,
     /// Number of Hadamard products executed.
     pub hadamard_calls: usize,
-    /// Cache lifetime id: 0 at construction, +1 per [`CountEngine::reset`].
-    pub generation: usize,
 }
 
 /// The count engine bound to one aligned pair and one (training) anchor set.
@@ -244,32 +241,6 @@ impl<'a> CountEngine<'a> {
     /// Cumulative statistics (ablation instrumentation).
     pub fn stats(&self) -> EngineStats {
         *self.stats.lock()
-    }
-
-    /// Clears the memoization cache and the stat counters, bumping the
-    /// stats [`EngineStats::generation`] so stale snapshots are detectable.
-    ///
-    /// Resetting while previously returned `Arc<CsrMatrix>` counts are
-    /// still held does not invalidate those matrices, but counters
-    /// accumulated after the reset no longer describe the work that
-    /// produced them — which is why the generation tag exists, and why new
-    /// code should prefer stage-scoped artifacts
-    /// (`session::AlignmentSession` rebuilds or delta-updates its counts
-    /// instead of resetting a shared engine).
-    #[deprecated(
-        since = "0.1.0",
-        note = "prefer session-stage invalidation (session::AlignmentSession::update_anchors) \
-                or a fresh engine; if you do reset, check EngineStats::generation before \
-                comparing stat snapshots"
-    )]
-    pub fn reset(&self) {
-        self.cache.lock().clear();
-        self.pending.lock().clear();
-        let mut stats = self.stats.lock();
-        *stats = EngineStats {
-            generation: stats.generation + 1,
-            ..EngineStats::default()
-        };
     }
 
     fn mul(&self, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
@@ -670,50 +641,6 @@ mod tests {
                 ..
             })
         ));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn reset_clears_cache_and_stats() {
-        let (l, r, a) = tiny_world();
-        let e = CountEngine::new(&l, &r, a).unwrap();
-        let _ = e.count(&Diagram::psi1());
-        assert!(e.stats().spgemm_calls > 0);
-        e.reset();
-        assert_eq!(
-            e.stats(),
-            EngineStats {
-                generation: 1,
-                ..EngineStats::default()
-            }
-        );
-        let _ = e.count(&Diagram::psi1());
-        assert_eq!(e.stats().cache_misses, 1);
-    }
-
-    /// Regression for the reset footgun: counts handed out before a reset
-    /// stay alive while the counters restart, so a post-reset stats
-    /// snapshot must *not* compare equal to a pre-reset one even when the
-    /// counter values coincide — the generation tag is the tiebreaker.
-    #[test]
-    #[allow(deprecated)]
-    fn reset_is_detectable_while_cached_counts_are_still_held() {
-        let (l, r, a) = tiny_world();
-        let e = CountEngine::new(&l, &r, a).unwrap();
-        let held = e.count(&Diagram::psi1());
-        let before = e.stats();
-        e.reset();
-        // Recompute the same diagram: the counter *values* can line up with
-        // the pre-reset snapshot...
-        let recomputed = e.count(&Diagram::psi1());
-        let after = e.stats();
-        assert_eq!(after.cache_misses, before.cache_misses);
-        assert_eq!(after.spgemm_calls, before.spgemm_calls);
-        // ...but the snapshots are distinguishable, and the held artifact
-        // is still valid (reset never mutates returned matrices).
-        assert_ne!(after, before, "generation tag must break the tie");
-        assert_eq!(after.generation, before.generation + 1);
-        assert_eq!(&*held, &*recomputed);
     }
 
     #[test]

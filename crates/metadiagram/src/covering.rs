@@ -140,6 +140,178 @@ pub fn plan_levels(coverings: &[CoveringSet]) -> Vec<Vec<usize>> {
     levels
 }
 
+/// The dependency DAG of a catalog: node `i` depends on node `j` when `j`'s
+/// covering set is a **strict subset** of `i`'s — exactly the Lemma-2
+/// factors the count engine reuses when it assembles `i`. Unlike
+/// [`plan_levels`], which conservatively synchronizes on covering-set
+/// *size*, the DAG lets a scheduler start a diagram the moment its own
+/// factors are done, regardless of what the rest of its size class is
+/// still computing.
+#[derive(Debug, Clone)]
+pub struct DagPlan {
+    deps: Vec<Vec<usize>>,
+    dependents: Vec<Vec<usize>>,
+    topo: Vec<usize>,
+}
+
+impl DagPlan {
+    /// Number of nodes (catalog entries).
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Nodes `i` depends on (strict covering subsets of `i`), ascending.
+    pub fn deps(&self, i: usize) -> &[usize] {
+        &self.deps[i]
+    }
+
+    /// Nodes that depend on `i`, ascending.
+    pub fn dependents(&self, i: usize) -> &[usize] {
+        &self.dependents[i]
+    }
+
+    /// A topological order ([`plan_order`]): every node's dependencies have
+    /// strictly smaller covering sets and therefore precede it.
+    pub fn topo_order(&self) -> &[usize] {
+        &self.topo
+    }
+}
+
+/// Builds the strict-subset dependency DAG of a catalog. `O(n²)` bitset
+/// comparisons over the catalog size (a few dozen diagrams), negligible
+/// next to a single count.
+pub fn plan_dag(coverings: &[CoveringSet]) -> DagPlan {
+    let n = coverings.len();
+    let mut deps = vec![Vec::new(); n];
+    let mut dependents = vec![Vec::new(); n];
+    for i in 0..n {
+        for (j, cj) in coverings.iter().enumerate() {
+            if i != j && cj.is_subset_of(&coverings[i]) && cj.len() < coverings[i].len() {
+                deps[i].push(j);
+                dependents[j].push(i);
+            }
+        }
+    }
+    DagPlan {
+        deps,
+        dependents,
+        topo: plan_order(coverings),
+    }
+}
+
+/// Executes `f(i)` once per node of `plan`, fanning out over `workers`
+/// threads with **dependency-edge** synchronization instead of level
+/// barriers: a node becomes ready the moment its own dependencies complete,
+/// so one slow diagram never stalls unrelated work, and the whole run pays
+/// a single thread-spawn wave instead of one per level. Results come back
+/// in node-index order.
+///
+/// Determinism: each worker collects `(node, result)` pairs locally and the
+/// pairs are merged by node index after every worker joins, so the output
+/// is a pure function of `f` — bit-equal at any worker count as long as
+/// `f(i)` is itself deterministic in `i` (the count engine's per-diagram
+/// gates guarantee that even though workers share a cache).
+pub fn run_dag<R: Send>(plan: &DagPlan, workers: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let n = plan.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if workers.min(n) <= 1 {
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for &i in plan.topo_order() {
+            slots[i] = Some(f(i));
+        }
+        return slots
+            .into_iter()
+            .map(|r| r.expect("topo order visits every node"))
+            .collect();
+    }
+    let workers = workers.min(n);
+
+    use std::collections::VecDeque;
+    use std::sync::{Condvar, Mutex};
+
+    struct SchedState {
+        ready: VecDeque<usize>,
+        remaining: Vec<usize>,
+        completed: usize,
+    }
+
+    let remaining: Vec<usize> = (0..n).map(|i| plan.deps(i).len()).collect();
+    // Seed the ready queue in topological order so roots drain smallest-first.
+    let ready: VecDeque<usize> = plan
+        .topo_order()
+        .iter()
+        .copied()
+        .filter(|&i| remaining[i] == 0)
+        .collect();
+    let state = Mutex::new(SchedState {
+        ready,
+        remaining,
+        completed: 0,
+    });
+    let done = Condvar::new();
+
+    let batches: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let next = {
+                            let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+                            loop {
+                                if let Some(i) = st.ready.pop_front() {
+                                    break Some(i);
+                                }
+                                if st.completed == n {
+                                    break None;
+                                }
+                                st = done.wait(st).unwrap_or_else(|e| e.into_inner());
+                            }
+                        };
+                        let Some(i) = next else {
+                            return local;
+                        };
+                        let r = f(i);
+                        local.push((i, r));
+                        let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+                        st.completed += 1;
+                        for &d in plan.dependents(i) {
+                            st.remaining[d] -= 1;
+                            if st.remaining[d] == 0 {
+                                st.ready.push_back(d);
+                            }
+                        }
+                        drop(st);
+                        done.notify_all();
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dag worker panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for batch in batches {
+        for (i, r) in batch {
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every dag node completed"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,5 +399,88 @@ mod tests {
     #[test]
     fn plan_levels_of_empty_input_is_empty() {
         assert!(plan_levels(&[]).is_empty());
+    }
+
+    /// A four-node chain-plus-branch: {P1} and {P3} are roots, {P1,P2}
+    /// depends on {P1} only, {P1,P2,T} depends on both smaller sets built
+    /// from P1.
+    fn sample_coverings() -> Vec<CoveringSet> {
+        let mut small = CoveringSet::empty();
+        small.insert_social(SocialPathId::P1);
+        let mut small2 = CoveringSet::empty();
+        small2.insert_social(SocialPathId::P3);
+        let mut mid = small;
+        mid.insert_social(SocialPathId::P2);
+        let mut big = mid;
+        big.insert_attr(AttrPathId::Timestamp);
+        vec![big, small, mid, small2]
+    }
+
+    #[test]
+    fn plan_dag_edges_are_strict_subsets() {
+        let coverings = sample_coverings();
+        let dag = plan_dag(&coverings);
+        assert_eq!(dag.len(), 4);
+        assert_eq!(dag.deps(1), &[] as &[usize]);
+        assert_eq!(dag.deps(3), &[] as &[usize]);
+        assert_eq!(dag.deps(2), &[1]);
+        assert_eq!(dag.deps(0), &[1, 2]);
+        assert_eq!(dag.dependents(1), &[0, 2]);
+        assert_eq!(dag.dependents(3), &[] as &[usize]);
+        // Equal sets must not produce edges (no cycles).
+        let dup = plan_dag(&[coverings[1], coverings[1]]);
+        assert!(dup.deps(0).is_empty() && dup.deps(1).is_empty());
+        // Topological order matches plan_order, and every dependency
+        // precedes its dependent in it.
+        assert_eq!(dag.topo_order(), plan_order(&coverings).as_slice());
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (rank, &i) in dag.topo_order().iter().enumerate() {
+                p[i] = rank;
+            }
+            p
+        };
+        for i in 0..4 {
+            for &d in dag.deps(i) {
+                assert!(pos[d] < pos[i], "dep {d} must precede {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_dag_respects_dependencies_at_any_worker_count() {
+        use std::sync::Mutex;
+        let coverings = sample_coverings();
+        let dag = plan_dag(&coverings);
+        for workers in [1, 2, 4, 8] {
+            let finished: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+            let results = run_dag(&dag, workers, |i| {
+                // A node may only start after all of its dependencies have
+                // been recorded as finished.
+                {
+                    let done = finished.lock().unwrap();
+                    for &d in dag.deps(i) {
+                        assert!(
+                            done.contains(&d),
+                            "node {i} started before dep {d} ({workers} workers)"
+                        );
+                    }
+                }
+                std::thread::yield_now();
+                finished.lock().unwrap().push(i);
+                i * 10
+            });
+            assert_eq!(results, vec![0, 10, 20, 30], "{workers} workers");
+            let mut done = finished.into_inner().unwrap();
+            done.sort_unstable();
+            assert_eq!(done, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn run_dag_of_empty_plan_is_empty() {
+        let dag = plan_dag(&[]);
+        assert!(dag.is_empty());
+        assert!(run_dag(&dag, 4, |i| i).is_empty());
     }
 }

@@ -27,12 +27,12 @@
 
 use crate::catalog::Catalog;
 use crate::count::{CountEngine, EngineError};
-use crate::covering::plan_levels;
+use crate::covering::{plan_dag, run_dag};
 use crate::diagram::Diagram;
 use hetnet::{AnchorLink, HetNet};
 use sparsela::{
     spgemm_lowrank_with_sums, spgemm_threaded, Accumulator, CooMatrix, CsrMatrix, MarginSums,
-    Threading,
+    SparseError, Threading,
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -49,6 +49,25 @@ pub enum DeltaError {
         /// The population size.
         count: usize,
     },
+    /// Two persisted artifacts that must share a shape have drifted apart —
+    /// the signature of a malformed (hand-edited or version-skewed)
+    /// snapshot-restored store. Consistency is validated *before* any
+    /// mutation, so the store is unchanged and a `session::SessionPool`
+    /// worker degrades to this error instead of aborting on a panic.
+    ShapeDrift {
+        /// Which artifact disagreed, e.g. `"factor chain L"`.
+        what: &'static str,
+        /// Index into the store's materialization order.
+        node: usize,
+        /// The artifact's actual shape.
+        found: (usize, usize),
+        /// The shape the store's invariants require.
+        expected: (usize, usize),
+    },
+    /// A store invariant that is not a plain shape equality broke, or a
+    /// sparse kernel rejected its operands mid-propagation. Carries the
+    /// underlying message.
+    Inconsistent(String),
 }
 
 impl fmt::Display for DeltaError {
@@ -57,11 +76,64 @@ impl fmt::Display for DeltaError {
             DeltaError::AnchorOutOfRange { side, index, count } => {
                 write!(f, "{side} anchor endpoint {index} out of range (< {count})")
             }
+            DeltaError::ShapeDrift {
+                what,
+                node,
+                found,
+                expected,
+            } => write!(
+                f,
+                "store node {node}: {what} is {}x{}, must be {}x{}",
+                found.0, found.1, expected.0, expected.1
+            ),
+            DeltaError::Inconsistent(msg) => write!(f, "inconsistent delta store: {msg}"),
         }
     }
 }
 
 impl std::error::Error for DeltaError {}
+
+impl From<SparseError> for DeltaError {
+    fn from(e: SparseError) -> Self {
+        DeltaError::Inconsistent(e.to_string())
+    }
+}
+
+/// How [`DeltaCatalogCounts`] merges the low-rank update `L·ΔA·R` into an
+/// anchor-chain count matrix. Both settings are bit-identical; the rebuild
+/// survives as the measured reference of the `splice_vs_add` bench
+/// dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CountMerge {
+    /// In-place row splicing ([`CsrMatrix::splice_add_positive`]): only the
+    /// rows the delta touches are rewritten, and margins are repaired
+    /// entry-locally when the positivity filter prunes residue.
+    #[default]
+    Splice,
+    /// The pre-splice path: full `add` + `positive_part` rebuild, with a
+    /// whole-matrix margin rescan whenever pruning fires.
+    Rebuild,
+}
+
+/// How [`DeltaCatalogCounts`] derives the touch-region of a re-combined
+/// stack (Hadamard) count. Counts, margins and downstream features are
+/// bit-identical either way; only the reported regions — and hence the
+/// rows/cols `dice_proximity_delta` rewrites downstream — differ. The
+/// union survives as the measured reference of the `region_tightness`
+/// bench dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StackRegions {
+    /// Region-exact: a Hadamard entry can only change where it exists in
+    /// *every* part (intersection pattern), so only the changed parts'
+    /// touched rows are re-Hadamarded, diffed against the stored rows, and
+    /// spliced in place; the region reports exactly the entries that
+    /// moved. Always a subset of what [`StackRegions::Union`] reports.
+    #[default]
+    Exact,
+    /// The pre-refactor path: full re-Hadamard of the stack and the union
+    /// of the parts' regions as its touch-region.
+    Union,
+}
 
 /// Work counters of a [`DeltaCatalogCounts`] store.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -77,10 +149,12 @@ pub struct DeltaStats {
 }
 
 /// The rows and columns of a count matrix that an update touched —
-/// sorted ascending, duplicate-free. Rows outside `rows` kept their
-/// pattern and row sum; columns outside `cols` kept their column sum.
-/// Regions may overapproximate (claim more than actually changed); they
-/// must never underapproximate.
+/// sorted ascending, duplicate-free. Rows outside `rows` are
+/// **bit-identical** to before the update (pattern and values — the
+/// guarantee `dice_proximity_delta` and region-local stack re-Hadamards
+/// rely on when they carry untouched rows over); columns outside `cols`
+/// kept their column sum. Regions may overapproximate (claim more than
+/// actually changed); they must never underapproximate.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TouchedRegion {
     /// Touched row indices, sorted.
@@ -219,6 +293,11 @@ pub struct DeltaCatalogCounts {
     pub(crate) catalog_pos: Vec<usize>,
     pub(crate) threading: Threading,
     pub(crate) stats: DeltaStats,
+    /// How anchor-chain counts absorb the low-rank update. Not persisted:
+    /// a restored store starts from the default.
+    pub(crate) merge: CountMerge,
+    /// How stack touch-regions are derived. Not persisted either.
+    pub(crate) regions: StackRegions,
 }
 
 impl fmt::Debug for DeltaCatalogCounts {
@@ -235,9 +314,9 @@ impl fmt::Debug for DeltaCatalogCounts {
 impl DeltaCatalogCounts {
     /// Counts the whole catalog once (the store's single mandatory full
     /// count) and harvests the factor chains for every anchor-dependent
-    /// diagram. `threading` fans the initial count out over covering-set
-    /// levels exactly like [`crate::proximity_matrices_par`]; results are
-    /// bit-identical at any setting.
+    /// diagram. `threading` fans the initial count out over the covering
+    /// dependency DAG exactly like [`crate::proximity_matrices_par`];
+    /// results are bit-identical at any setting.
     ///
     /// Factor harvesting is eager because the networks are not retained
     /// after the build — a batch caller that never updates pays for it
@@ -257,29 +336,15 @@ impl DeltaCatalogCounts {
         threading: Threading,
     ) -> Result<Self, EngineError> {
         let engine = CountEngine::new(left, right, anchor.clone())?;
-        // Warm the engine cache level by level (workers share the Lemma-2
-        // cache; a barrier between levels keeps factors available).
+        // Warm the engine cache over the strict-subset dependency DAG: one
+        // spawn wave for the whole catalog, and a diagram starts as soon as
+        // its own Lemma-2 factors are cached. The engine's per-diagram
+        // gates keep the cached counts bit-identical at any worker count
+        // (run_dag runs the topological order serially when workers <= 1).
         let coverings = catalog.coverings();
-        let workers = threading.resolve();
-        for level in plan_levels(&coverings) {
-            if workers <= 1 || level.len() <= 1 {
-                for idx in level {
-                    let _ = engine.count(&catalog.entries()[idx].diagram);
-                }
-            } else {
-                let per_worker = level.len().div_ceil(workers);
-                let engine_ref = &engine;
-                std::thread::scope(|scope| {
-                    for idxs in level.chunks(per_worker) {
-                        scope.spawn(move || {
-                            for &idx in idxs {
-                                let _ = engine_ref.count(&catalog.entries()[idx].diagram);
-                            }
-                        });
-                    }
-                });
-            }
-        }
+        run_dag(&plan_dag(&coverings), threading.resolve(), |idx| {
+            let _ = engine.count(&catalog.entries()[idx].diagram);
+        });
         // Harvest counts and factor chains in dependency order.
         let mut store = DeltaCatalogCounts {
             anchor,
@@ -293,6 +358,8 @@ impl DeltaCatalogCounts {
                 full_counts: 1,
                 ..DeltaStats::default()
             },
+            merge: CountMerge::default(),
+            regions: StackRegions::default(),
         };
         let mut index: HashMap<Diagram, usize> = HashMap::new();
         for entry in catalog.entries() {
@@ -381,6 +448,116 @@ impl DeltaCatalogCounts {
         self.threading
     }
 
+    /// Selects how anchor-chain counts absorb the low-rank update (default
+    /// [`CountMerge::Splice`]). Both settings leave the store bit-identical;
+    /// the rebuild is the measured reference of the `splice_vs_add` bench
+    /// dimension.
+    pub fn set_count_merge(&mut self, merge: CountMerge) {
+        self.merge = merge;
+    }
+
+    /// The current count-merge policy.
+    pub fn count_merge(&self) -> CountMerge {
+        self.merge
+    }
+
+    /// Selects how stack touch-regions are derived (default
+    /// [`StackRegions::Exact`]). Counts, margins and downstream features
+    /// are bit-identical either way; only the reported regions differ. The
+    /// union is the measured reference of the `region_tightness` bench
+    /// dimension.
+    pub fn set_stack_regions(&mut self, regions: StackRegions) {
+        self.regions = regions;
+    }
+
+    /// The current stack-region policy.
+    pub fn stack_regions(&self) -> StackRegions {
+        self.regions
+    }
+
+    /// Validates the cross-artifact shape invariants a propagation relies
+    /// on, **before** any mutation: margins against their counts, factor
+    /// chains against the anchor and count shapes, stack parts against
+    /// their stack. Every store this crate builds passes by construction;
+    /// a malformed snapshot-restored store fails here with a typed error
+    /// and the store untouched. `O(catalog)` comparisons.
+    fn check_consistent(&self) -> Result<(), DeltaError> {
+        let (a1, a2) = self.anchor.shape();
+        let n = self.order.len();
+        if self.kinds.len() != n || self.counts.len() != n || self.sums.len() != n {
+            return Err(DeltaError::Inconsistent(format!(
+                "{n} diagrams vs {} kinds, {} counts, {} sums",
+                self.kinds.len(),
+                self.counts.len(),
+                self.sums.len()
+            )));
+        }
+        for (i, kind) in self.kinds.iter().enumerate() {
+            let shape = self.counts[i].shape();
+            if self.sums[i].shape() != shape {
+                return Err(DeltaError::ShapeDrift {
+                    what: "margin sums",
+                    node: i,
+                    found: self.sums[i].shape(),
+                    expected: shape,
+                });
+            }
+            match kind {
+                NodeKind::AnchorChain(chain) => {
+                    // C = L·A·R: L is (c1 × a1), Lᵀ its transpose, R (a2 × c2).
+                    if chain.l.shape() != (shape.0, a1) {
+                        return Err(DeltaError::ShapeDrift {
+                            what: "factor chain L",
+                            node: i,
+                            found: chain.l.shape(),
+                            expected: (shape.0, a1),
+                        });
+                    }
+                    if chain.lt.shape() != (a1, shape.0) {
+                        return Err(DeltaError::ShapeDrift {
+                            what: "factor chain Lᵀ",
+                            node: i,
+                            found: chain.lt.shape(),
+                            expected: (a1, shape.0),
+                        });
+                    }
+                    if chain.r.shape() != (a2, shape.1) {
+                        return Err(DeltaError::ShapeDrift {
+                            what: "factor chain R",
+                            node: i,
+                            found: chain.r.shape(),
+                            expected: (a2, shape.1),
+                        });
+                    }
+                }
+                NodeKind::AnchorFree => {}
+                NodeKind::Stack(parts) => {
+                    if parts.is_empty() {
+                        return Err(DeltaError::Inconsistent(format!(
+                            "stack node {i} has no parts"
+                        )));
+                    }
+                    for &p in parts {
+                        if p >= i {
+                            return Err(DeltaError::Inconsistent(format!(
+                                "stack node {i} references part {p} out of dependency order"
+                            )));
+                        }
+                        if self.counts[p].shape() != shape {
+                            return Err(DeltaError::ShapeDrift {
+                                what: "stack part",
+                                node: i,
+                                found: self.counts[p].shape(),
+                                expected: shape,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Validates and dedups `links` against the current anchors, returning
     /// the genuinely new `(row, col)` pairs.
     fn fresh_links(&self, links: &[AnchorLink]) -> Result<Vec<(usize, usize)>, DeltaError> {
@@ -411,7 +588,7 @@ impl DeltaCatalogCounts {
         Ok(fresh)
     }
 
-    fn merge(&mut self, fresh: &[(usize, usize)]) -> CsrMatrix {
+    fn merge_links(&mut self, fresh: &[(usize, usize)]) -> CsrMatrix {
         let (n1, n2) = self.anchor.shape();
         let mut coo = CooMatrix::with_capacity(n1, n2, fresh.len());
         for &(i, j) in fresh {
@@ -435,14 +612,18 @@ impl DeltaCatalogCounts {
     ///
     /// # Errors
     /// [`DeltaError::AnchorOutOfRange`] on endpoints outside the user
-    /// populations; the store is unchanged in that case.
+    /// populations, [`DeltaError::ShapeDrift`] /
+    /// [`DeltaError::Inconsistent`] when a (snapshot-restored) store's
+    /// artifacts violate the shape invariants. The store is unchanged in
+    /// every error case: consistency is validated before the merge.
     pub fn update_anchors(&mut self, links: &[AnchorLink]) -> Result<DeltaOutcome, DeltaError> {
         let fresh = self.fresh_links(links)?;
         if fresh.is_empty() {
             return Ok(DeltaOutcome::default());
         }
-        let delta = self.merge(&fresh);
-        let changed = self.repropagate(Some(&delta));
+        self.check_consistent()?;
+        let delta = self.merge_links(&fresh);
+        let changed = self.repropagate(Some(&delta))?;
         self.stats.delta_updates += 1;
         Ok(DeltaOutcome {
             applied: fresh.len(),
@@ -461,15 +642,18 @@ impl DeltaCatalogCounts {
     ///
     /// # Errors
     /// [`DeltaError::AnchorOutOfRange`] on endpoints outside the user
-    /// populations; the store is unchanged in that case.
+    /// populations, [`DeltaError::ShapeDrift`] /
+    /// [`DeltaError::Inconsistent`] on a malformed store. The store is
+    /// unchanged in every error case.
     pub fn recount_anchors(&mut self, links: &[AnchorLink]) -> Result<DeltaOutcome, DeltaError> {
         let fresh = self.fresh_links(links)?;
         if fresh.is_empty() {
             return Ok(DeltaOutcome::default());
         }
+        self.check_consistent()?;
         let applied = fresh.len();
-        self.merge(&fresh);
-        let changed = self.repropagate(None);
+        self.merge_links(&fresh);
+        let changed = self.repropagate(None)?;
         self.stats.full_counts += 1;
         Ok(DeltaOutcome { applied, changed })
     }
@@ -479,14 +663,22 @@ impl DeltaCatalogCounts {
     /// Returns the changed catalog entries, with per-entry touched regions
     /// on the incremental path.
     ///
-    /// The incremental path also maintains every changed matrix's
-    /// [`MarginSums`] (anchor chains fold in the low-rank product's
-    /// margins; re-Hadamarded stacks exchange exactly their touched rows)
-    /// and repairs count-invariant residue: a low-rank update that leaves
-    /// explicit zeros or negative round-off in the merged CSR is pruned
-    /// back to the strictly positive entries, so delta-updated counts keep
-    /// the exact nnz pattern a full recount would produce.
-    fn repropagate(&mut self, delta: Option<&CsrMatrix>) -> Vec<ChangedCount> {
+    /// On the incremental path anchor chains absorb `L·ΔA·R` according to
+    /// the [`CountMerge`] policy — in-place row splicing by default, where
+    /// margins fold in the low-rank product's sums and every entry the
+    /// positivity filter prunes is retracted entry-locally, so
+    /// delta-updated counts keep the exact nnz pattern a full recount
+    /// would produce without a margin rescan. Stacks re-combine according
+    /// to [`StackRegions`] — by default only the candidate rows (where a
+    /// part changed) are re-Hadamarded, diffed against the stored rows and
+    /// spliced, reporting the exactly-changed region.
+    ///
+    /// # Errors
+    /// Shape violations surface as [`DeltaError::ShapeDrift`] /
+    /// [`DeltaError::Inconsistent`] via the callers' pre-validation;
+    /// kernel-level rejections inside the pass are mapped to
+    /// [`DeltaError::Inconsistent`] instead of panicking.
+    fn repropagate(&mut self, delta: Option<&CsrMatrix>) -> Result<Vec<ChangedCount>, DeltaError> {
         let mut touched: Vec<Option<TouchedRegion>> = vec![None; self.order.len()];
         let mut changed = vec![false; self.order.len()];
         for i in 0..self.order.len() {
@@ -494,22 +686,33 @@ impl DeltaCatalogCounts {
                 NodeKind::AnchorChain(chain) => {
                     match delta {
                         Some(d) => {
-                            let dc =
-                                spgemm_lowrank_with_sums(&chain.lt, d, &chain.r, &mut self.sums[i])
-                                    .expect("factor chain shapes are consistent");
+                            let dc = spgemm_lowrank_with_sums(
+                                &chain.lt,
+                                d,
+                                &chain.r,
+                                &mut self.sums[i],
+                            )?;
                             touched[i] = Some(TouchedRegion::of_pattern(&dc));
-                            let merged = self.counts[i]
-                                .add(&dc)
-                                .expect("delta count shares the count shape");
-                            self.counts[i] = match merged.positive_part() {
-                                // Residue dropped: the maintained sums no
-                                // longer match entry-for-entry — rescan.
-                                Some(clean) => {
-                                    self.sums[i] = MarginSums::of(&clean);
-                                    clean
+                            match self.merge {
+                                CountMerge::Splice => {
+                                    let sums = &mut self.sums[i];
+                                    self.counts[i].splice_add_positive(&dc, |r, c, v| {
+                                        sums.retract(r, c, v)
+                                    })?;
                                 }
-                                None => merged,
-                            };
+                                CountMerge::Rebuild => {
+                                    let merged = self.counts[i].add(&dc)?;
+                                    self.counts[i] = match merged.positive_part() {
+                                        // Residue dropped: the maintained
+                                        // sums no longer match — rescan.
+                                        Some(clean) => {
+                                            self.sums[i] = MarginSums::of(&clean);
+                                            clean
+                                        }
+                                        None => merged,
+                                    };
+                                }
+                            }
                         }
                         None => {
                             let la = spgemm_threaded(
@@ -517,11 +720,9 @@ impl DeltaCatalogCounts {
                                 &self.anchor,
                                 Accumulator::Auto,
                                 self.threading,
-                            )
-                            .expect("factor chain shapes are consistent");
+                            )?;
                             self.counts[i] =
-                                spgemm_threaded(&la, &chain.r, Accumulator::Auto, self.threading)
-                                    .expect("factor chain shapes are consistent");
+                                spgemm_threaded(&la, &chain.r, Accumulator::Auto, self.threading)?;
                             self.sums[i] = MarginSums::of(&self.counts[i]);
                         }
                     }
@@ -529,38 +730,32 @@ impl DeltaCatalogCounts {
                 }
                 NodeKind::AnchorFree => {}
                 NodeKind::Stack(parts) => {
-                    if parts.iter().any(|&p| changed[p]) {
-                        let mut acc = self.counts[parts[0]].clone();
-                        for &p in &parts[1..] {
-                            acc = acc
-                                .hadamard(&self.counts[p])
-                                .expect("stack factors share the count shape");
-                        }
-                        if delta.is_some() {
-                            // A stack entry can only change where one of
-                            // its parts changed, so the union of the
-                            // parts' regions covers the stack's own.
-                            let mut region = TouchedRegion::default();
-                            for &p in parts.iter() {
-                                if let Some(part_region) = &touched[p] {
-                                    region.absorb(part_region);
-                                }
+                    if !parts.iter().any(|&p| changed[p]) {
+                        continue;
+                    }
+                    if delta.is_some() {
+                        let parts = parts.clone();
+                        match self.regions {
+                            StackRegions::Exact => {
+                                self.restack_exact(i, &parts, &mut touched, &changed)?
                             }
-                            self.sums[i]
-                                .rewrite_rows(&self.counts[i], &acc, &region.rows)
-                                .expect("stack shares the count shape");
-                            touched[i] = Some(region);
-                        }
-                        self.counts[i] = acc;
-                        if delta.is_none() {
-                            self.sums[i] = MarginSums::of(&self.counts[i]);
+                            StackRegions::Union => self.restack_union(i, &parts, &mut touched)?,
                         }
                         changed[i] = true;
+                        continue;
                     }
+                    let mut acc = self.counts[parts[0]].clone();
+                    for &p in &parts[1..] {
+                        acc = acc.hadamard(&self.counts[p])?;
+                    }
+                    self.counts[i] = acc;
+                    self.sums[i] = MarginSums::of(&self.counts[i]);
+                    changed[i] = true;
                 }
             }
         }
-        self.catalog_pos
+        Ok(self
+            .catalog_pos
             .iter()
             .enumerate()
             .filter(|&(_, &ord)| changed[ord])
@@ -568,7 +763,157 @@ impl DeltaCatalogCounts {
                 catalog_pos: cat,
                 touched: touched[ord].clone(),
             })
-            .collect()
+            .collect())
+    }
+
+    /// Region-exact re-combination of stack node `i` ([`StackRegions::Exact`]):
+    /// a Hadamard entry exists only where *every* part has one, and a part is
+    /// bit-identical outside its touched rows, so the stack can only change
+    /// on the union of the changed parts' touched rows. Those candidate rows
+    /// are re-Hadamarded (same left-fold association and zero filter as
+    /// [`CsrMatrix::hadamard`], hence bit-equal values), diffed against the
+    /// stored rows, and the rows that actually moved are spliced in place
+    /// with their margins exchanged — the reported region is exact. When the
+    /// candidate rows cover a quarter or more of the stack, the per-row diff
+    /// no longer pays for itself and the node falls back to
+    /// [`Self::restack_union`] (the region degrades to the sound union).
+    fn restack_exact(
+        &mut self,
+        i: usize,
+        parts: &[usize],
+        touched: &mut [Option<TouchedRegion>],
+        part_changed: &[bool],
+    ) -> Result<(), DeltaError> {
+        let mut cand: Vec<usize> = Vec::new();
+        for &p in parts {
+            if part_changed[p] {
+                if let Some(reg) = &touched[p] {
+                    cand.extend_from_slice(&reg.rows);
+                }
+            }
+        }
+        cand.sort_unstable();
+        cand.dedup();
+        // Same density cutoff idiom as `touch_is_dense`: once the candidate
+        // rows cover a quarter of the stack, per-row re-Hadamard + diff costs
+        // more than one wholesale Hadamard — fall back to the union path
+        // (identical values; the reported region degrades to the union,
+        // which stays a superset-consistent over-approximation).
+        if cand.len() * 4 >= self.counts[i].nrows() {
+            return self.restack_union(i, parts, touched);
+        }
+        let mut rows: Vec<usize> = Vec::new();
+        let mut new_rows: Vec<Vec<(usize, f64)>> = Vec::new();
+        let mut cols: Vec<usize> = Vec::new();
+        for &r in &cand {
+            // Hadamard of the parts restricted to row r.
+            let mut acc: Vec<(usize, f64)> = self.counts[parts[0]].row(r).collect();
+            for &p in &parts[1..] {
+                let part = &self.counts[p];
+                let mut merged = Vec::with_capacity(acc.len().min(part.row_nnz(r)));
+                let mut ia = acc.into_iter().peekable();
+                let mut ib = part.row(r).peekable();
+                while let (Some(&(ca, va)), Some(&(cb, vb))) = (ia.peek(), ib.peek()) {
+                    match ca.cmp(&cb) {
+                        std::cmp::Ordering::Less => {
+                            ia.next();
+                        }
+                        std::cmp::Ordering::Greater => {
+                            ib.next();
+                        }
+                        std::cmp::Ordering::Equal => {
+                            let v = va * vb;
+                            if v != 0.0 {
+                                merged.push((ca, v));
+                            }
+                            ia.next();
+                            ib.next();
+                        }
+                    }
+                }
+                acc = merged;
+            }
+            // Diff against the stored row: record exactly the entries that
+            // moved (integer-valued floats — bitwise equality, no NaN).
+            let mut row_changed = false;
+            let mut io = self.counts[i].row(r).peekable();
+            let mut inw = acc.iter().copied().peekable();
+            loop {
+                match (io.peek().copied(), inw.peek().copied()) {
+                    (Some((co, vo)), Some((cn, vn))) => {
+                        if co < cn {
+                            cols.push(co);
+                            row_changed = true;
+                            io.next();
+                        } else if co > cn {
+                            cols.push(cn);
+                            row_changed = true;
+                            inw.next();
+                        } else {
+                            if vo != vn {
+                                cols.push(co);
+                                row_changed = true;
+                            }
+                            io.next();
+                            inw.next();
+                        }
+                    }
+                    (Some((co, _)), None) => {
+                        cols.push(co);
+                        row_changed = true;
+                        io.next();
+                    }
+                    (None, Some((cn, _))) => {
+                        cols.push(cn);
+                        row_changed = true;
+                        inw.next();
+                    }
+                    (None, None) => break,
+                }
+            }
+            if row_changed {
+                rows.push(r);
+                new_rows.push(acc);
+            }
+        }
+        cols.sort_unstable();
+        cols.dedup();
+        // Exchange margins while the old rows are still in place, then
+        // splice the replacements in.
+        let sums = &mut self.sums[i];
+        for (k, &r) in rows.iter().enumerate() {
+            sums.exchange_row(r, self.counts[i].row(r), new_rows[k].iter().copied());
+        }
+        self.counts[i].splice_rows(&rows, &new_rows)?;
+        touched[i] = Some(TouchedRegion { rows, cols });
+        Ok(())
+    }
+
+    /// Union-region re-combination of stack node `i` ([`StackRegions::Union`],
+    /// and the dense fallback of [`Self::restack_exact`]): recompute the full
+    /// Hadamard and report the union of the parts' touched regions — a sound
+    /// over-approximation, since a stack entry can only change where one of
+    /// its parts changed. Margins are rewritten over the union rows only.
+    fn restack_union(
+        &mut self,
+        i: usize,
+        parts: &[usize],
+        touched: &mut [Option<TouchedRegion>],
+    ) -> Result<(), DeltaError> {
+        let mut acc = self.counts[parts[0]].clone();
+        for &p in &parts[1..] {
+            acc = acc.hadamard(&self.counts[p])?;
+        }
+        let mut region = TouchedRegion::default();
+        for &p in parts.iter() {
+            if let Some(part_region) = &touched[p] {
+                region.absorb(part_region);
+            }
+        }
+        self.sums[i].rewrite_rows(&self.counts[i], &acc, &region.rows)?;
+        touched[i] = Some(region);
+        self.counts[i] = acc;
+        Ok(())
     }
 }
 
@@ -816,6 +1161,161 @@ mod tests {
             s.update_anchors(&[bad]).unwrap_err(),
             DeltaError::AnchorOutOfRange { side: "right", .. }
         ));
+    }
+
+    /// Regression for the pruning repair: when the low-rank product
+    /// drives entries non-positive, the splice path must retract exactly
+    /// the pruned entries from the maintained margins — no full rescan —
+    /// and land bit-equal to the rebuild path. Confirmed-anchor deltas are
+    /// non-negative, so pruning is forced here by negating the chains'
+    /// `Lᵀ` factors, which makes every low-rank product `≤ 0`.
+    #[test]
+    fn pruned_entries_repair_margins_without_a_rescan() {
+        let w = world();
+        let (initial, held_out) = split_links(&w);
+        let mut spliced = store(&w, &initial);
+        for kind in &mut spliced.kinds {
+            if let NodeKind::AnchorChain(chain) = kind {
+                chain.lt = chain.lt.scaled(-1.0);
+            }
+        }
+        let mut rebuilt = spliced.clone();
+        spliced.set_count_merge(CountMerge::Splice);
+        rebuilt.set_count_merge(CountMerge::Rebuild);
+        let nnz_before: usize = spliced.counts.iter().map(CsrMatrix::nnz).sum();
+        let o1 = spliced.update_anchors(&held_out).unwrap();
+        let o2 = rebuilt.update_anchors(&held_out).unwrap();
+        assert_eq!(o1.changed_positions(), o2.changed_positions());
+        for i in 0..spliced.len() {
+            let c = spliced.catalog_count(i);
+            assert_eq!(c, rebuilt.catalog_count(i), "entry {i}: merge paths split");
+            assert_eq!(spliced.catalog_sums(i), rebuilt.catalog_sums(i));
+            assert!(
+                spliced.catalog_sums(i).matches(c),
+                "entry {i}: margins drifted after pruning"
+            );
+            assert!(c.values().iter().all(|&v| v > 0.0), "entry {i}: residue");
+        }
+        for (a, b) in spliced.counts.iter().zip(&rebuilt.counts) {
+            assert_eq!(a, b, "materialized nodes diverged");
+        }
+        let nnz_after: usize = spliced.counts.iter().map(CsrMatrix::nnz).sum();
+        assert!(nnz_after < nnz_before, "no entry was actually pruned");
+    }
+
+    /// All four policy combinations are pure tuning: counts, sums,
+    /// changed sets and region soundness are identical, and the exact
+    /// regions are contained in the union regions.
+    #[test]
+    fn merge_and_region_policies_are_bit_equal() {
+        let w = world();
+        let (initial, held_out) = split_links(&w);
+        let base = store(&w, &initial);
+        let policies = [
+            (CountMerge::Splice, StackRegions::Exact),
+            (CountMerge::Splice, StackRegions::Union),
+            (CountMerge::Rebuild, StackRegions::Exact),
+            (CountMerge::Rebuild, StackRegions::Union),
+        ];
+        let mut runs = Vec::new();
+        for (merge, regions) in policies {
+            let mut s = base.clone();
+            s.set_count_merge(merge);
+            s.set_stack_regions(regions);
+            assert_eq!((s.count_merge(), s.stack_regions()), (merge, regions));
+            let mut outcomes = Vec::new();
+            for batch in held_out.chunks(4) {
+                outcomes.push(s.update_anchors(batch).unwrap());
+            }
+            runs.push((s, outcomes));
+        }
+        let (reference, ref_outcomes) = &runs[0];
+        for (s, outcomes) in &runs[1..] {
+            for i in 0..reference.len() {
+                assert_eq!(s.catalog_count(i), reference.catalog_count(i));
+                assert_eq!(s.catalog_sums(i), reference.catalog_sums(i));
+            }
+            for (o, want) in outcomes.iter().zip(ref_outcomes) {
+                assert_eq!(o.applied, want.applied);
+                assert_eq!(o.changed_positions(), want.changed_positions());
+            }
+        }
+        // Tightness: every exact region is a subset of the union region
+        // reported for the same entry in the same round.
+        let (_, union_outcomes) = &runs[1];
+        for (exact_round, union_round) in ref_outcomes.iter().zip(union_outcomes) {
+            for (e, u) in exact_round.changed.iter().zip(&union_round.changed) {
+                assert_eq!(e.catalog_pos, u.catalog_pos);
+                let (er, ur) = (e.touched.as_ref().unwrap(), u.touched.as_ref().unwrap());
+                assert!(er.rows.iter().all(|r| ur.rows.binary_search(r).is_ok()));
+                assert!(er.cols.iter().all(|c| ur.cols.binary_search(c).is_ok()));
+            }
+        }
+    }
+
+    /// A malformed store (e.g. restored from a corrupted snapshot) must
+    /// degrade to a typed error before any merge happens — never panic,
+    /// never mutate.
+    #[test]
+    fn malformed_store_fails_with_a_typed_error_and_no_mutation() {
+        let w = world();
+        let (initial, held_out) = split_links(&w);
+        let good = store(&w, &initial);
+
+        // Margin sums whose shape drifted from their count matrix.
+        let mut s = good.clone();
+        s.sums[0] = MarginSums::from_parts(vec![0.0], vec![0.0]);
+        let err = s.update_anchors(&held_out).unwrap_err();
+        assert!(matches!(
+            err,
+            DeltaError::ShapeDrift {
+                what: "margin sums",
+                node: 0,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("margin sums"));
+        assert_eq!(s.n_anchors(), good.n_anchors(), "store mutated on error");
+        assert_eq!(s.counts, good.counts, "counts mutated on error");
+
+        // A factor chain that no longer matches the anchor shape.
+        let mut s = good.clone();
+        for kind in &mut s.kinds {
+            if let NodeKind::AnchorChain(chain) = kind {
+                chain.r = CsrMatrix::zeros(1, 1);
+                break;
+            }
+        }
+        assert!(matches!(
+            s.update_anchors(&held_out).unwrap_err(),
+            DeltaError::ShapeDrift {
+                what: "factor chain R",
+                ..
+            }
+        ));
+
+        // Mismatched parallel arrays.
+        let mut s = good.clone();
+        s.sums.pop();
+        assert!(matches!(
+            s.update_anchors(&held_out).unwrap_err(),
+            DeltaError::Inconsistent(_)
+        ));
+
+        // A stack referencing itself (dependency order violated).
+        let mut s = good.clone();
+        let stack_at = s
+            .kinds
+            .iter()
+            .position(|k| matches!(k, NodeKind::Stack(_)))
+            .unwrap();
+        if let NodeKind::Stack(parts) = &mut s.kinds[stack_at] {
+            parts[0] = stack_at;
+        }
+        let err = s.recount_anchors(&held_out).unwrap_err();
+        assert!(matches!(err, DeltaError::Inconsistent(_)));
+        assert!(err.to_string().contains("dependency order"));
+        assert_eq!(s.counts, good.counts, "recount mutated a malformed store");
     }
 
     #[test]

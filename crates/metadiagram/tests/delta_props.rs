@@ -7,7 +7,9 @@
 
 use hetnet::aligned::anchor_matrix;
 use hetnet::{AnchorLink, UserId};
-use metadiagram::{Catalog, CountEngine, DeltaCatalogCounts, FeatureSet, Threading};
+use metadiagram::{
+    Catalog, CountEngine, CountMerge, DeltaCatalogCounts, FeatureSet, StackRegions, Threading,
+};
 use proptest::prelude::*;
 
 fn world(seed: u64) -> datagen::GeneratedWorld {
@@ -71,5 +73,84 @@ proptest! {
         }
         // The store never fell back to full counting.
         prop_assert_eq!(store.stats().full_counts, 1);
+    }
+
+    /// End-to-end region soundness and tightness: after every random
+    /// batch, each changed entry's reported [`metadiagram::TouchedRegion`]
+    /// covers every row that actually changed and every column whose sum
+    /// moved — and the default exact regions are a subset of the
+    /// union-of-parts regions a twin store reports for the same batch.
+    #[test]
+    fn touched_regions_are_sound_and_exact_is_within_union(
+        seed in 0u64..3,
+        initial_k in 1usize..20,
+        batches in batches_strategy(),
+    ) {
+        let w = world(29 + seed * 5);
+        let base = anchor_matrix(
+            w.left().n_users(),
+            w.right().n_users(),
+            &w.truth().links()[..initial_k],
+        )
+        .unwrap();
+        let catalog = Catalog::new(FeatureSet::Full);
+        let mut exact = DeltaCatalogCounts::build(
+            w.left(),
+            w.right(),
+            base,
+            &catalog,
+            Threading::Serial,
+        )
+        .unwrap();
+        let mut union = exact.clone();
+        exact.set_count_merge(CountMerge::Splice);
+        exact.set_stack_regions(StackRegions::Exact);
+        union.set_count_merge(CountMerge::Rebuild);
+        union.set_stack_regions(StackRegions::Union);
+
+        for batch in &batches {
+            let links: Vec<AnchorLink> = batch
+                .iter()
+                .map(|&(l, r)| AnchorLink::new(UserId(l), UserId(r)))
+                .collect();
+            let before: Vec<_> = (0..exact.len())
+                .map(|i| exact.catalog_count(i).clone())
+                .collect();
+            let oe = exact.update_anchors(&links).unwrap();
+            let ou = union.update_anchors(&links).unwrap();
+            prop_assert_eq!(oe.changed_positions(), ou.changed_positions());
+
+            for (ce, cu) in oe.changed.iter().zip(&ou.changed) {
+                let re = ce.touched.as_ref().unwrap();
+                let ru = cu.touched.as_ref().unwrap();
+                // Tightness: exact ⊆ union.
+                prop_assert!(re.rows.iter().all(|r| ru.rows.binary_search(r).is_ok()));
+                prop_assert!(re.cols.iter().all(|c| ru.cols.binary_search(c).is_ok()));
+                // Soundness of the tight region against the actual diff.
+                let (old, new) = (&before[ce.catalog_pos], exact.catalog_count(ce.catalog_pos));
+                for i in 0..new.nrows() {
+                    if re.rows.binary_search(&i).is_err() {
+                        let old_row: Vec<_> = old.row(i).collect();
+                        let new_row: Vec<_> = new.row(i).collect();
+                        prop_assert_eq!(old_row, new_row, "row {} escaped the region", i);
+                    }
+                }
+                let (old_cols, new_cols) = (old.col_sums(), new.col_sums());
+                for j in 0..new.ncols() {
+                    if re.cols.binary_search(&j).is_err() {
+                        prop_assert_eq!(
+                            old_cols[j],
+                            new_cols[j],
+                            "col {} sum escaped the region",
+                            j
+                        );
+                    }
+                }
+            }
+            // Both stores stay bit-equal regardless of policy.
+            for i in 0..exact.len() {
+                prop_assert_eq!(exact.catalog_count(i), union.catalog_count(i));
+            }
+        }
     }
 }

@@ -100,6 +100,7 @@ mod stages;
 pub mod workers;
 
 pub use active::{ActiveRunReport, RecountPolicy, RoundStat};
+pub use metadiagram::delta::{CountMerge, StackRegions};
 pub use pool::{PoolError, SessionPool};
 pub use snapshot::SnapshotError;
 pub use stages::{AlignmentSession, Counted, Featurized, Fitted, ProximityRefresh, SessionBuilder};

@@ -5,7 +5,7 @@ use activeiter::driver::ActiveLoop;
 use activeiter::{AlignmentInstance, ModelConfig, Oracle, QueryStrategy};
 use hetnet::aligned::anchor_matrix;
 use hetnet::{HetNet, UserId};
-use metadiagram::delta::{DeltaCatalogCounts, DeltaOutcome, DeltaStats};
+use metadiagram::delta::{CountMerge, DeltaCatalogCounts, DeltaOutcome, DeltaStats, StackRegions};
 use metadiagram::{
     dice_proximity, dice_proximity_delta, gather_features, touch_is_dense, Catalog, FeatureMatrix,
     FeatureSet,
@@ -191,6 +191,24 @@ impl<S> AlignmentSession<S> {
     /// The worker threading the session was built with.
     pub fn threading(&self) -> Threading {
         self.threading
+    }
+
+    /// Selects the delta hot-path policies for subsequent anchor updates:
+    /// how incremental count deltas are merged into the stored matrices
+    /// ([`CountMerge`]) and how stacked-diagram touch regions are derived
+    /// ([`StackRegions`]).
+    ///
+    /// Both choices are pure tuning — every combination produces
+    /// bit-identical counts, sums and regions-covered changes; only the
+    /// work done per round differs. The defaults
+    /// ([`CountMerge::Splice`], [`StackRegions::Exact`]) are the fast
+    /// paths; the alternatives are the reference paths kept for the
+    /// benchmark dimensions. Policies are runtime state: they are not
+    /// persisted by [`crate::snapshot`], so reopened sessions start from
+    /// the defaults.
+    pub fn set_delta_policies(&mut self, merge: CountMerge, regions: StackRegions) {
+        self.counts.set_count_merge(merge);
+        self.counts.set_stack_regions(regions);
     }
 }
 

@@ -339,6 +339,296 @@ impl CsrMatrix {
         })
     }
 
+    /// Merges `delta` into `self` **in place**, rewriting only the rows
+    /// where `delta` stores entries and keeping only strictly positive
+    /// merged values. Rows `delta` does not touch are moved wholesale
+    /// (bulk `memmove` of the storage tail) instead of being re-walked
+    /// entry by entry, so the cost is `O(nnz(touched rows) + nnz(delta))`
+    /// merge work plus one splice pass — not the full `O(nnz)` rebuild of
+    /// [`CsrMatrix::add`] + [`CsrMatrix::positive_part`].
+    ///
+    /// Every merged entry the positivity filter drops is reported through
+    /// `on_drop(row, col, merged_value)` so a caller maintaining
+    /// [`crate::MarginSums`] can repair the margins entry-locally
+    /// ([`crate::MarginSums::retract`]) instead of rescanning.
+    ///
+    /// When `self` satisfies the count-matrix invariant (every stored
+    /// value `> 0`), the result is bit-equal to
+    /// `self.add(delta)` followed by `positive_part()`: both keep a merged
+    /// entry exactly when its value is `> 0.0`. If `self` holds a
+    /// non-positive entry in an *untouched* row, that entry is kept here
+    /// but would be dropped by `positive_part` — callers outside the
+    /// count-matrix invariant should use the rebuild pair instead.
+    ///
+    /// # Errors
+    /// [`SparseError::DimMismatch`] when the shapes differ (`self` is not
+    /// modified).
+    pub fn splice_add_positive(
+        &mut self,
+        delta: &CsrMatrix,
+        mut on_drop: impl FnMut(usize, usize, f64),
+    ) -> Result<()> {
+        if delta.shape() != self.shape() {
+            return Err(SparseError::DimMismatch {
+                op: "splice_add_positive",
+                lhs: self.shape(),
+                rhs: delta.shape(),
+            });
+        }
+        let mut rows = Vec::new();
+        let mut lens = Vec::new();
+        let mut new_indices = Vec::with_capacity(delta.nnz());
+        let mut new_values = Vec::with_capacity(delta.nnz());
+        for r in 0..self.nrows {
+            if delta.row_nnz(r) == 0 {
+                continue;
+            }
+            let before = new_indices.len();
+            let mut ia = self.row(r).peekable();
+            let mut ib = delta.row(r).peekable();
+            // Same keep-filter as add + positive_part combined: a merged
+            // entry survives iff its value is strictly positive.
+            let mut push = |c: usize, v: f64| {
+                if v > 0.0 {
+                    new_indices.push(c);
+                    new_values.push(v);
+                } else {
+                    on_drop(r, c, v);
+                }
+            };
+            loop {
+                match (ia.peek().copied(), ib.peek().copied()) {
+                    (Some((ca, va)), Some((cb, vb))) => match ca.cmp(&cb) {
+                        std::cmp::Ordering::Less => {
+                            push(ca, va);
+                            ia.next();
+                        }
+                        std::cmp::Ordering::Greater => {
+                            push(cb, vb);
+                            ib.next();
+                        }
+                        std::cmp::Ordering::Equal => {
+                            push(ca, va + vb);
+                            ia.next();
+                            ib.next();
+                        }
+                    },
+                    (Some((ca, va)), None) => {
+                        push(ca, va);
+                        ia.next();
+                    }
+                    (None, Some((cb, vb))) => {
+                        push(cb, vb);
+                        ib.next();
+                    }
+                    (None, None) => break,
+                }
+            }
+            rows.push(r);
+            lens.push(new_indices.len() - before);
+        }
+        self.splice_apply(&rows, &lens, &new_indices, &new_values);
+        Ok(())
+    }
+
+    /// Replaces the listed rows wholesale: `rows` must be strictly
+    /// increasing and `new_rows[k]` holds the full sorted `(col, value)`
+    /// content for `rows[k]`. This is the in-place row exchange behind
+    /// region-local stack re-Hadamards — untouched rows are bulk-moved,
+    /// never re-walked.
+    ///
+    /// # Errors
+    /// [`SparseError::InvalidStructure`] when `rows` is not strictly
+    /// increasing, a row or column index is out of range, `new_rows` has a
+    /// different length than `rows`, or a replacement row's columns are not
+    /// strictly increasing. `self` is unchanged on error.
+    pub fn splice_rows(&mut self, rows: &[usize], new_rows: &[Vec<(usize, f64)>]) -> Result<()> {
+        if rows.len() != new_rows.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "splice_rows: {} rows but {} replacements",
+                rows.len(),
+                new_rows.len()
+            )));
+        }
+        for (k, &r) in rows.iter().enumerate() {
+            if r >= self.nrows {
+                return Err(SparseError::InvalidStructure(format!(
+                    "splice_rows: row {r} >= nrows {}",
+                    self.nrows
+                )));
+            }
+            if k > 0 && rows[k - 1] >= r {
+                return Err(SparseError::InvalidStructure(
+                    "splice_rows: rows not strictly increasing".into(),
+                ));
+            }
+            for w in new_rows[k].windows(2) {
+                if w[0].0 >= w[1].0 {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "splice_rows: replacement for row {r} not strictly increasing"
+                    )));
+                }
+            }
+            if let Some(&(last, _)) = new_rows[k].last() {
+                if last >= self.ncols {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "splice_rows: replacement for row {r} has column {last} >= ncols {}",
+                        self.ncols
+                    )));
+                }
+            }
+        }
+        let lens: Vec<usize> = new_rows.iter().map(Vec::len).collect();
+        let mut new_indices = Vec::with_capacity(lens.iter().sum());
+        let mut new_values = Vec::with_capacity(new_indices.capacity());
+        for row in new_rows {
+            for &(c, v) in row {
+                new_indices.push(c);
+                new_values.push(v);
+            }
+        }
+        self.splice_apply(rows, &lens, &new_indices, &new_values);
+        Ok(())
+    }
+
+    /// Core of the splice family: replaces the contents of `rows` (strictly
+    /// increasing, in range) with the packed rows of `new_indices` /
+    /// `new_values` (`lens[k]` entries for `rows[k]`), shifting the
+    /// untouched spans with bulk copies. Single-direction in-place moves are
+    /// only safe when the cumulative length shift never changes sign — a
+    /// right-to-left pass with a shrinking prefix (or vice versa) would
+    /// overwrite unread data — so mixed grow/shrink splices fall back to a
+    /// rebuild that still bulk-copies every untouched span.
+    fn splice_apply(
+        &mut self,
+        rows: &[usize],
+        lens: &[usize],
+        new_indices: &[usize],
+        new_values: &[f64],
+    ) {
+        debug_assert_eq!(rows.len(), lens.len());
+        debug_assert_eq!(new_indices.len(), new_values.len());
+        debug_assert_eq!(new_indices.len(), lens.iter().sum::<usize>());
+        if rows.is_empty() {
+            return;
+        }
+        let old_total = self.indices.len();
+        // Classify the cumulative shift after each touched row.
+        let mut shift = 0isize;
+        let mut any_pos = false;
+        let mut any_neg = false;
+        for (k, &r) in rows.iter().enumerate() {
+            shift += lens[k] as isize - self.row_nnz(r) as isize;
+            any_pos |= shift > 0;
+            any_neg |= shift < 0;
+        }
+        let new_total = (old_total as isize + shift) as usize;
+        if any_pos && any_neg {
+            // Mixed grow/shrink: rebuild with wholesale span copies.
+            let mut indices = Vec::with_capacity(new_total);
+            let mut values = Vec::with_capacity(new_total);
+            let mut read = 0usize;
+            let mut packed = 0usize;
+            for (k, &r) in rows.iter().enumerate() {
+                indices.extend_from_slice(&self.indices[read..self.indptr[r]]);
+                values.extend_from_slice(&self.values[read..self.indptr[r]]);
+                indices.extend_from_slice(&new_indices[packed..packed + lens[k]]);
+                values.extend_from_slice(&new_values[packed..packed + lens[k]]);
+                packed += lens[k];
+                read = self.indptr[r + 1];
+            }
+            indices.extend_from_slice(&self.indices[read..]);
+            values.extend_from_slice(&self.values[read..]);
+            self.indices = indices;
+            self.values = values;
+        } else if any_pos {
+            // Every prefix grows (or is even): move right-to-left so reads
+            // stay ahead of writes.
+            self.indices.resize(new_total, 0);
+            self.values.resize(new_total, 0.0);
+            let mut read_end = old_total;
+            let mut write_end = new_total;
+            let mut packed_end = new_indices.len();
+            for (k, &r) in rows.iter().enumerate().rev() {
+                let seg_start = self.indptr[r + 1];
+                let seg_len = read_end - seg_start;
+                let dst = write_end - seg_len;
+                if seg_len > 0 && dst != seg_start {
+                    self.indices.copy_within(seg_start..read_end, dst);
+                    self.values.copy_within(seg_start..read_end, dst);
+                }
+                write_end = dst;
+                let len = lens[k];
+                self.indices[write_end - len..write_end]
+                    .copy_from_slice(&new_indices[packed_end - len..packed_end]);
+                self.values[write_end - len..write_end]
+                    .copy_from_slice(&new_values[packed_end - len..packed_end]);
+                write_end -= len;
+                packed_end -= len;
+                read_end = self.indptr[r];
+            }
+            debug_assert_eq!(write_end, read_end);
+        } else {
+            // Every prefix shrinks (or is even): move left-to-right.
+            let mut read = self.indptr[rows[0]];
+            let mut write = read;
+            let mut packed = 0usize;
+            for (k, &r) in rows.iter().enumerate() {
+                let gap = self.indptr[r] - read;
+                if gap > 0 && write != read {
+                    self.indices.copy_within(read..read + gap, write);
+                    self.values.copy_within(read..read + gap, write);
+                }
+                write += gap;
+                let len = lens[k];
+                self.indices[write..write + len]
+                    .copy_from_slice(&new_indices[packed..packed + len]);
+                self.values[write..write + len].copy_from_slice(&new_values[packed..packed + len]);
+                write += len;
+                packed += len;
+                read = self.indptr[r + 1];
+            }
+            let tail = old_total - read;
+            if tail > 0 && write != read {
+                self.indices.copy_within(read..old_total, write);
+                self.values.copy_within(read..old_total, write);
+            }
+            write += tail;
+            debug_assert_eq!(write, new_total);
+            self.indices.truncate(new_total);
+            self.values.truncate(new_total);
+        }
+        // Rewrite indptr with the running shift. indptr[r] is read before it
+        // is overwritten and indptr[r + 1] is still the old value at that
+        // point, so old row lengths stay available throughout the pass.
+        let mut shift = 0isize;
+        let mut k = 0usize;
+        for r in rows[0]..self.nrows {
+            let old_start = self.indptr[r];
+            let old_len = self.indptr[r + 1] - old_start;
+            let new_len = if k < rows.len() && rows[k] == r {
+                k += 1;
+                lens[k - 1]
+            } else {
+                old_len
+            };
+            self.indptr[r] = (old_start as isize + shift) as usize;
+            shift += new_len as isize - old_len as isize;
+        }
+        self.indptr[self.nrows] = new_total;
+        debug_assert!(
+            Self::try_new(
+                self.nrows,
+                self.ncols,
+                self.indptr.clone(),
+                self.indices.clone(),
+                self.values.clone()
+            )
+            .is_ok(),
+            "splice_apply produced malformed CSR"
+        );
+    }
+
     /// Converts to a dense matrix (tests and small problems only).
     pub fn to_dense(&self) -> DenseMatrix {
         let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
@@ -514,6 +804,128 @@ mod tests {
         let d = m.to_dense();
         let back = CsrMatrix::from_dense(3, 3, d.data());
         assert_eq!(back, m);
+    }
+
+    /// Reference semantics for `splice_add_positive` on an all-positive base.
+    fn add_then_positive(base: &CsrMatrix, delta: &CsrMatrix) -> CsrMatrix {
+        let merged = base.add(delta).unwrap();
+        merged.positive_part().unwrap_or(merged)
+    }
+
+    #[test]
+    fn splice_add_positive_growth_matches_rebuild() {
+        // Rows 0 and 2 gain entries; every cumulative shift is positive
+        // (right-to-left in-place branch).
+        let base = sample();
+        let delta = CsrMatrix::from_dense(3, 3, &[0.0, 5.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 6.0]);
+        let mut spliced = base.clone();
+        spliced
+            .splice_add_positive(&delta, |_, _, _| panic!("nothing pruned"))
+            .unwrap();
+        assert_eq!(spliced, add_then_positive(&base, &delta));
+    }
+
+    #[test]
+    fn splice_add_positive_shrink_matches_rebuild() {
+        // Cancellations only: rows shrink (left-to-right in-place branch),
+        // and every drop is reported with its merged value.
+        let base = sample();
+        let delta = CsrMatrix::from_dense(3, 3, &[-1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, -4.0, 0.0]);
+        let mut spliced = base.clone();
+        let mut drops = Vec::new();
+        spliced
+            .splice_add_positive(&delta, |r, c, v| drops.push((r, c, v)))
+            .unwrap();
+        assert_eq!(spliced, add_then_positive(&base, &delta));
+        assert_eq!(drops, vec![(0, 0, 0.0), (2, 1, 0.0)]);
+    }
+
+    #[test]
+    fn splice_add_positive_mixed_shift_matches_rebuild() {
+        // Row 0 shrinks, row 2 grows: cumulative shifts change sign, so the
+        // rebuild fallback runs. An empty row gaining entries rides along.
+        let base = sample();
+        let delta = CsrMatrix::from_dense(3, 3, &[-1.0, 0.0, -2.0, 7.0, 0.0, 8.0, 0.0, 1.0, 9.0]);
+        let mut spliced = base.clone();
+        let mut drops = Vec::new();
+        spliced
+            .splice_add_positive(&delta, |r, c, v| drops.push((r, c, v)))
+            .unwrap();
+        assert_eq!(spliced, add_then_positive(&base, &delta));
+        assert_eq!(drops, vec![(0, 0, 0.0), (0, 2, 0.0)]);
+        assert_eq!(spliced.get(1, 0), 7.0);
+        assert_eq!(spliced.get(2, 2), 9.0);
+    }
+
+    #[test]
+    fn splice_add_positive_reports_negative_delta_only_entries() {
+        // A delta entry with no base counterpart that stays non-positive is
+        // dropped and reported with the merged (= delta) value.
+        let base = sample();
+        let delta = CsrMatrix::from_dense(3, 3, &[0.0, 0.0, 0.0, 0.0, -3.0, 0.0, 0.0, 0.0, 0.0]);
+        let mut spliced = base.clone();
+        let mut drops = Vec::new();
+        spliced
+            .splice_add_positive(&delta, |r, c, v| drops.push((r, c, v)))
+            .unwrap();
+        assert_eq!(spliced, add_then_positive(&base, &delta));
+        assert_eq!(drops, vec![(1, 1, -3.0)]);
+    }
+
+    #[test]
+    fn splice_add_positive_empty_delta_is_a_noop() {
+        let base = sample();
+        let mut spliced = base.clone();
+        spliced
+            .splice_add_positive(&CsrMatrix::zeros(3, 3), |_, _, _| panic!("no drops"))
+            .unwrap();
+        assert_eq!(spliced, base);
+    }
+
+    #[test]
+    fn splice_add_positive_rejects_shape_mismatch() {
+        let base = sample();
+        let mut spliced = base.clone();
+        assert!(spliced
+            .splice_add_positive(&CsrMatrix::zeros(2, 3), |_, _, _| {})
+            .is_err());
+        assert_eq!(spliced, base, "failed splice must not mutate");
+    }
+
+    #[test]
+    fn splice_rows_replaces_rows_in_place() {
+        let base = sample();
+        // Row 0 shrinks to one entry, row 2 grows to three: mixed shifts.
+        let mut m = base.clone();
+        m.splice_rows(
+            &[0, 2],
+            &[vec![(1, 9.0)], vec![(0, 1.0), (1, 2.0), (2, 3.0)]],
+        )
+        .unwrap();
+        let expected = CsrMatrix::from_dense(3, 3, &[0.0, 9.0, 0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(m, expected);
+        // Replace with an empty row (pure shrink).
+        let mut m = base.clone();
+        m.splice_rows(&[2], &[vec![]]).unwrap();
+        assert_eq!(m.row_nnz(2), 0);
+        assert_eq!(m.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn splice_rows_validates_input() {
+        let base = sample();
+        let mut m = base.clone();
+        // Length mismatch.
+        assert!(m.splice_rows(&[0, 1], &[vec![]]).is_err());
+        // Row out of range.
+        assert!(m.splice_rows(&[3], &[vec![]]).is_err());
+        // Rows not strictly increasing.
+        assert!(m.splice_rows(&[1, 1], &[vec![], vec![]]).is_err());
+        // Column out of range.
+        assert!(m.splice_rows(&[0], &[vec![(3, 1.0)]]).is_err());
+        // Replacement columns not sorted.
+        assert!(m.splice_rows(&[0], &[vec![(2, 1.0), (0, 1.0)]]).is_err());
+        assert_eq!(m, base, "failed splice_rows must not mutate");
     }
 
     #[test]

@@ -107,6 +107,42 @@ impl MarginSums {
         Ok(())
     }
 
+    /// Subtracts one entry's value from both margins — the entry-local
+    /// repair paired with [`CsrMatrix::splice_add_positive`]'s `on_drop`
+    /// callback: when the positivity filter prunes a merged entry, the
+    /// margins accumulated from the additive delta still include it, and
+    /// retracting exactly the pruned value is bit-equal to a full rescan
+    /// (exact integer arithmetic). Cost `O(1)` per pruned entry, replacing
+    /// the `O(nnz)` [`MarginSums::of`] fallback.
+    #[inline]
+    pub fn retract(&mut self, row: usize, col: usize, value: f64) {
+        self.row[row] -= value;
+        self.col[col] -= value;
+    }
+
+    /// Exchanges the contribution of a single replaced row given explicit
+    /// entry lists — the row-replacement analogue of
+    /// [`MarginSums::rewrite_rows`] for callers that splice rows in place
+    /// ([`CsrMatrix::splice_rows`]) and never materialize a whole "new"
+    /// matrix. Must be called with the *old* row content while it is still
+    /// present. Cost `O(nnz(old) + nnz(new))`.
+    pub fn exchange_row(
+        &mut self,
+        row: usize,
+        old: impl IntoIterator<Item = (usize, f64)>,
+        new: impl IntoIterator<Item = (usize, f64)>,
+    ) {
+        for (j, v) in old {
+            self.col[j] -= v;
+        }
+        let mut row_sum = 0.0;
+        for (j, v) in new {
+            row_sum += v;
+            self.col[j] += v;
+        }
+        self.row[row] = row_sum;
+    }
+
     /// Exchanges the contributions of the rows in `rows` (sorted or not,
     /// duplicates ignored by construction of the caller): subtracts `old`'s
     /// entries and adds `new`'s. Used when a set of rows is *replaced*
@@ -212,6 +248,42 @@ mod tests {
         let mut s = MarginSums::of(&old);
         assert!(s.rewrite_rows(&old, &CsrMatrix::zeros(3, 3), &[0]).is_err());
         assert!(s.matches(&old));
+    }
+
+    #[test]
+    fn retract_repairs_a_pruned_entry() {
+        // Accumulate a delta that cancels (0, 0), then retract the pruned
+        // merged value: the sums must match the spliced matrix exactly.
+        let m = sample();
+        let delta = CsrMatrix::from_dense(
+            3,
+            4,
+            &[-1.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        );
+        let mut s = MarginSums::of(&m);
+        s.accumulate(&delta).unwrap();
+        let mut spliced = m.clone();
+        spliced
+            .splice_add_positive(&delta, |r, c, v| s.retract(r, c, v))
+            .unwrap();
+        assert!(s.matches(&spliced));
+    }
+
+    #[test]
+    fn exchange_row_matches_rewrite_rows() {
+        let old = sample();
+        let new = CsrMatrix::from_dense(
+            3,
+            4,
+            &[0.0, 6.0, 0.0, 1.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 8.0, 0.0],
+        );
+        let mut exchanged = MarginSums::of(&old);
+        for &r in &[0usize, 2] {
+            exchanged.exchange_row(r, old.row(r), new.row(r));
+        }
+        let mut rewritten = MarginSums::of(&old);
+        rewritten.rewrite_rows(&old, &new, &[0, 2]).unwrap();
+        assert_eq!(exchanged, rewritten);
     }
 
     #[test]

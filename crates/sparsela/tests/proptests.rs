@@ -6,7 +6,9 @@ use sparsela::spgemm::{
     spgemm_chain, spgemm_lowrank, spgemm_par, spgemm_partitioned, spgemm_with, Accumulator,
     RowPartition, Threading,
 };
-use sparsela::{spgemm, CholeskyFactor, CooMatrix, CsrMatrix, DenseMatrix, RidgeSolver};
+use sparsela::{
+    spgemm, CholeskyFactor, CooMatrix, CsrMatrix, DenseMatrix, MarginSums, RidgeSolver,
+};
 
 /// Strategy: a random sparse matrix as (nrows, ncols, dense buffer) with
 /// small integer-valued entries (exact float arithmetic, no rounding noise).
@@ -162,6 +164,64 @@ proptest! {
                 prop_assert_eq!(s.get(i, j), a[i * c + j] + b[i * c + j]);
             }
         }
+    }
+
+    #[test]
+    fn splice_add_positive_is_bit_equal_to_rebuild(
+        (r, c, a) in dense_buffer(7),
+        b_seed in proptest::collection::vec(-4i32..=4, 49)
+    ) {
+        // Base under the count-matrix invariant (all stored values > 0),
+        // delta with arbitrary-signed integer entries: the in-place splice
+        // must equal add + positive_part bit-for-bit, and margins
+        // maintained via accumulate + retract must equal a rescan.
+        let raw = CsrMatrix::from_dense(r, c, &a);
+        let base = raw.positive_part().unwrap_or(raw);
+        let b: Vec<f64> = (0..r * c).map(|i| f64::from(b_seed[i % b_seed.len()])).collect();
+        let delta = CsrMatrix::from_dense(r, c, &b);
+        let mut sums = MarginSums::of(&base);
+        sums.accumulate(&delta).unwrap();
+        let mut spliced = base.clone();
+        spliced
+            .splice_add_positive(&delta, |dr, dc, v| sums.retract(dr, dc, v))
+            .unwrap();
+        let merged = base.add(&delta).unwrap();
+        let reference = merged.positive_part().unwrap_or(merged);
+        prop_assert_eq!(&spliced, &reference);
+        prop_assert!(sums.matches(&spliced));
+        // The spliced matrix must still be structurally valid CSR.
+        prop_assert!(CsrMatrix::try_new(
+            r, c,
+            spliced.indptr().to_vec(),
+            spliced.indices().to_vec(),
+            spliced.values().to_vec()
+        ).is_ok());
+    }
+
+    #[test]
+    fn splice_rows_matches_a_dense_row_rewrite(
+        (r, c, a) in dense_buffer(6),
+        b_seed in proptest::collection::vec(-3i32..=3, 36),
+        mask in proptest::collection::vec(any::<bool>(), 6)
+    ) {
+        let base = CsrMatrix::from_dense(r, c, &a);
+        let b: Vec<f64> = (0..r * c).map(|i| f64::from(b_seed[i % b_seed.len()])).collect();
+        let repl = CsrMatrix::from_dense(r, c, &b);
+        let rows: Vec<usize> = (0..r).filter(|&i| mask[i]).collect();
+        let new_rows: Vec<Vec<(usize, f64)>> =
+            rows.iter().map(|&i| repl.row(i).collect()).collect();
+        let mut sums = MarginSums::of(&base);
+        for &i in &rows {
+            sums.exchange_row(i, base.row(i), repl.row(i));
+        }
+        let mut spliced = base.clone();
+        spliced.splice_rows(&rows, &new_rows).unwrap();
+        let mut expected = a.clone();
+        for &i in &rows {
+            expected[i * c..(i + 1) * c].copy_from_slice(&b[i * c..(i + 1) * c]);
+        }
+        prop_assert_eq!(&spliced, &CsrMatrix::from_dense(r, c, &expected));
+        prop_assert!(sums.matches(&spliced));
     }
 
     #[test]

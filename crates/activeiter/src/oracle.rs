@@ -12,10 +12,14 @@ pub trait Oracle {
 /// An oracle backed by a precomputed truth vector aligned with the
 /// candidate list — exactly how the paper simulates the human expert from
 /// held-out labels.
+///
+/// The answer counter is atomic so one oracle can serve concurrent
+/// sessions (the sharded alignment pipeline fans per-shard fits out over
+/// threads, all querying the same ground truth).
 #[derive(Debug)]
 pub struct VecOracle {
     truth: Vec<bool>,
-    answered: std::cell::Cell<usize>,
+    answered: std::sync::atomic::AtomicUsize,
 }
 
 impl VecOracle {
@@ -23,7 +27,7 @@ impl VecOracle {
     pub fn new(truth: Vec<bool>) -> Self {
         VecOracle {
             truth,
-            answered: std::cell::Cell::new(0),
+            answered: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -35,12 +39,13 @@ impl VecOracle {
 
 impl Oracle for VecOracle {
     fn label(&self, idx: usize) -> bool {
-        self.answered.set(self.answered.get() + 1);
+        self.answered
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.truth[idx]
     }
 
     fn queries_answered(&self) -> usize {
-        self.answered.get()
+        self.answered.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 

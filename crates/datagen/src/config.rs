@@ -34,6 +34,18 @@ pub struct GeneratorConfig {
     /// Preferential-attachment mixing weight (0 = uniform targets,
     /// 1 = fully degree-proportional).
     pub pa_strength: f64,
+    /// Number of latent communities the shared users are split into
+    /// (contiguous, near-equal blocks). `0` or `1` disables community
+    /// structure entirely — the generator then draws **exactly** the same
+    /// random sequence as before the knob existed, so existing presets
+    /// and seeds reproduce bit-identically.
+    pub n_communities: usize,
+    /// Probability a latent follow edge stays inside its source's
+    /// community (when communities are enabled). In-community targets are
+    /// preferential-attachment weighted over the community only, which
+    /// keeps target sampling `O(n / n_communities)` — the property that
+    /// makes 100×–1000× table-IV scales generable.
+    pub community_bias: f64,
 
     /// Mean number of posts per user in the left network.
     pub posts_per_user_left: f64,
@@ -79,6 +91,8 @@ impl Default for GeneratorConfig {
             noise_edge_frac: 0.15,
             extra_degree: 6.0,
             pa_strength: 0.6,
+            n_communities: 0,
+            community_bias: 0.0,
             posts_per_user_left: 10.0,
             posts_per_user_right: 6.0,
             n_habits: 4,
@@ -124,6 +138,7 @@ impl GeneratorConfig {
             ("profile_noise", self.profile_noise),
             ("pa_strength", self.pa_strength),
             ("archetype_mix", self.archetype_mix),
+            ("community_bias", self.community_bias),
         ] {
             assert!((0.0..=1.0).contains(&p), "{name} must be in [0,1], got {p}");
         }
@@ -177,6 +192,17 @@ mod tests {
     fn rejects_bad_probability() {
         GeneratorConfig {
             keep_left: 1.5,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "community_bias")]
+    fn rejects_bad_community_bias() {
+        GeneratorConfig {
+            n_communities: 4,
+            community_bias: 1.5,
             ..Default::default()
         }
         .validate();

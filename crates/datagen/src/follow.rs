@@ -55,8 +55,66 @@ fn sample_target(
     }
 }
 
+/// The latent community of shared user `u` when `0..n` users are split
+/// into `k` contiguous, near-equal blocks. Every community is non-empty
+/// when `k ≤ n`; the mapping is what [`latent_graph`] biases edges with
+/// and what ground-truth-aware tests compare detected partitions against.
+pub fn community_of(u: usize, n: usize, k: usize) -> usize {
+    debug_assert!(u < n && k > 0);
+    u * k / n
+}
+
+/// The `[lo, hi)` user range of community `c` under [`community_of`].
+fn community_range(c: usize, n: usize, k: usize) -> (usize, usize) {
+    let lo = (c * n).div_ceil(k);
+    let hi = ((c + 1) * n).div_ceil(k);
+    (lo, hi)
+}
+
+/// Samples an in-community target: preferential attachment restricted to
+/// the community's `[lo, hi)` slice (walk cost `O(hi - lo)`, not `O(n)`),
+/// uniform within the slice otherwise.
+fn sample_target_within(
+    rng: &mut StdRng,
+    indeg: &[usize],
+    lo: usize,
+    hi: usize,
+    slice_indeg: usize,
+    pa_strength: f64,
+    exclude: usize,
+) -> usize {
+    let m = hi - lo;
+    loop {
+        let t = if rng.gen::<f64>() < pa_strength && slice_indeg > 0 {
+            let mut ticket = rng.gen_range(0..slice_indeg + m);
+            let mut chosen = hi - 1;
+            for (i, &d) in indeg[lo..hi].iter().enumerate() {
+                let w = d + 1;
+                if ticket < w {
+                    chosen = lo + i;
+                    break;
+                }
+                ticket -= w;
+            }
+            chosen
+        } else {
+            rng.gen_range(lo..hi)
+        };
+        if t != exclude {
+            return t;
+        }
+    }
+}
+
 /// Grows the latent directed graph over `n` shared users with mean
 /// out-degree `cfg.base_degree`.
+///
+/// With `cfg.n_communities > 1` and a positive `cfg.community_bias`, each
+/// edge stays inside its source's community with that probability
+/// (in-community targets preferential-attachment weighted over the
+/// community slice); escaping edges pick a uniform global target. With
+/// communities disabled the function draws **exactly** the pre-knob
+/// random sequence.
 pub fn latent_graph(rng: &mut StdRng, cfg: &GeneratorConfig) -> EdgeList {
     let n = cfg.n_shared_users;
     let mut seen: HashSet<(usize, usize)> = HashSet::new();
@@ -66,17 +124,43 @@ pub fn latent_graph(rng: &mut StdRng, cfg: &GeneratorConfig) -> EdgeList {
     if n < 2 {
         return EdgeList { edges };
     }
+    let k = cfg.n_communities.min(n);
+    let communities_on = k > 1 && cfg.community_bias > 0.0;
+    // Per-community in-degree totals so the restricted PA walk has its
+    // normalizer without rescanning the slice.
+    let mut comm_indeg = vec![0usize; if communities_on { k } else { 0 }];
     for u in 0..n {
         let d = sample_degree(rng, cfg.base_degree).min(n - 1);
         let mut attempts = 0;
         let mut added = 0;
         while added < d && attempts < 8 * d + 16 {
             attempts += 1;
-            let t = sample_target(rng, &indeg, total_indeg, cfg.pa_strength, u);
+            let t = if communities_on {
+                let c = community_of(u, n, k);
+                let (lo, hi) = community_range(c, n, k);
+                if hi - lo >= 2 && rng.gen::<f64>() < cfg.community_bias {
+                    sample_target_within(rng, &indeg, lo, hi, comm_indeg[c], cfg.pa_strength, u)
+                } else {
+                    // Escape edge: uniform global target. The O(n) global
+                    // PA walk is skipped on purpose — it is what makes
+                    // community-free generation quadratic at 100× scales.
+                    loop {
+                        let t = rng.gen_range(0..n);
+                        if t != u {
+                            break t;
+                        }
+                    }
+                }
+            } else {
+                sample_target(rng, &indeg, total_indeg, cfg.pa_strength, u)
+            };
             if seen.insert((u, t)) {
                 edges.push((u, t));
                 indeg[t] += 1;
                 total_indeg += 1;
+                if communities_on {
+                    comm_indeg[community_of(t, n, k)] += 1;
+                }
                 added += 1;
             }
         }
@@ -262,6 +346,57 @@ mod tests {
         let net = materialize_network(&mut r, &latent, 1.0, &|u| u, 60, &c, 50);
         // Users 50..60 should have some outgoing edges.
         assert!(net.edges.iter().any(|&(u, _)| u >= 50));
+    }
+
+    #[test]
+    fn communities_are_contiguous_and_cover() {
+        let (n, k) = (103, 7);
+        let mut sizes = vec![0usize; k];
+        let mut last = 0;
+        for u in 0..n {
+            let c = community_of(u, n, k);
+            assert!(c >= last, "community ids must be monotone in u");
+            last = c;
+            sizes[c] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s > 0), "empty community: {sizes:?}");
+    }
+
+    #[test]
+    fn community_bias_concentrates_edges_within_communities() {
+        let c = GeneratorConfig {
+            n_shared_users: 200,
+            n_communities: 8,
+            community_bias: 0.9,
+            ..Default::default()
+        };
+        let g = latent_graph(&mut rng(), &c);
+        let inside = g
+            .edges
+            .iter()
+            .filter(|&&(u, v)| community_of(u, 200, 8) == community_of(v, 200, 8))
+            .count();
+        let frac = inside as f64 / g.edges.len() as f64;
+        // Uniform targets would land inside ~1/8 of the time.
+        assert!(frac > 0.6, "in-community fraction {frac}");
+    }
+
+    #[test]
+    fn disabled_communities_draw_the_identical_sequence() {
+        let base = cfg();
+        let zero_bias = GeneratorConfig {
+            n_communities: 6,
+            community_bias: 0.0,
+            ..base.clone()
+        };
+        let one_comm = GeneratorConfig {
+            n_communities: 1,
+            community_bias: 0.9,
+            ..base.clone()
+        };
+        let reference = latent_graph(&mut rng(), &base);
+        assert_eq!(latent_graph(&mut rng(), &zero_bias).edges, reference.edges);
+        assert_eq!(latent_graph(&mut rng(), &one_comm).edges, reference.edges);
     }
 
     #[test]

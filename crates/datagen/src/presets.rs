@@ -25,6 +25,8 @@ pub fn tiny(seed: u64) -> GeneratorConfig {
         noise_edge_frac: 0.1,
         extra_degree: 4.0,
         pa_strength: 0.5,
+        n_communities: 0,
+        community_bias: 0.0,
         posts_per_user_left: 8.0,
         posts_per_user_right: 5.0,
         n_habits: 3,
@@ -53,6 +55,8 @@ pub fn small(seed: u64) -> GeneratorConfig {
         noise_edge_frac: 0.15,
         extra_degree: 6.0,
         pa_strength: 0.6,
+        n_communities: 0,
+        community_bias: 0.0,
         posts_per_user_left: 8.0,
         posts_per_user_right: 5.0,
         n_habits: 2,
@@ -98,6 +102,8 @@ pub fn paper_scale(n_shared: usize, seed: u64) -> GeneratorConfig {
         noise_edge_frac: 0.12,
         extra_degree: 10.0,
         pa_strength: 0.7,
+        n_communities: 0,
+        community_bias: 0.0,
         posts_per_user_left: 24.0,
         posts_per_user_right: posts_right,
         n_habits: 3,
@@ -107,6 +113,41 @@ pub fn paper_scale(n_shared: usize, seed: u64) -> GeneratorConfig {
         popularity_skew: 0.9,
         words_per_post: 0,
         n_profile_words: 10,
+    }
+}
+
+/// Scale-free, community-structured world for the partition-sharded
+/// pipeline — the preset that reaches 100×–1000× beyond the paper's
+/// Table IV (≈3.3k anchors), where the partition crossover is
+/// demonstrable.
+///
+/// Built on [`paper_scale`]'s Table II proportions, with three changes
+/// that keep generation (and the global reference pipeline it is compared
+/// against) tractable as `n_shared` grows into the millions:
+/// * users split into `n_communities` latent blocks, `community_bias`
+///   0.85 — in-community targets are preferential-attachment weighted
+///   *within the community slice*, so target sampling is
+///   `O(n / n_communities)` instead of the global `O(n)` walk;
+/// * per-user activity trimmed (degree 16, posts 6/3) — the signal
+///   saturates far below Twitter's raw post volume, and at 100× scale the
+///   full Table II activity would dominate wall-clock without changing
+///   the crossover story;
+/// * fewer noise edges (0.05), since cross-community escapes already
+///   supply inter-block confusion.
+///
+/// `community_scale(n, k, seed)` with `k ≈ n / 650` keeps community sizes
+/// near the paper's whole-network scale, so each shard is itself a
+/// table-IV-sized alignment problem.
+pub fn community_scale(n_shared: usize, n_communities: usize, seed: u64) -> GeneratorConfig {
+    GeneratorConfig {
+        n_communities,
+        community_bias: 0.85,
+        base_degree: 16.0,
+        posts_per_user_left: 6.0,
+        posts_per_user_right: 3.0,
+        noise_edge_frac: 0.05,
+        extra_degree: 6.0,
+        ..paper_scale(n_shared, seed)
     }
 }
 
@@ -120,6 +161,33 @@ mod tests {
         tiny(1).validate();
         small(1).validate();
         paper_scale(200, 1).validate();
+        community_scale(400, 8, 1).validate();
+    }
+
+    #[test]
+    fn community_scale_worlds_have_block_structure() {
+        let cfg = community_scale(240, 6, 11);
+        let w = generate(&cfg);
+        // In-community follow fraction among shared users far exceeds the
+        // uniform 1/6 baseline (shared users are 0..240 on the left).
+        let follow = w
+            .left()
+            .adjacency(hetnet::LinkKind::Follow, hetnet::Direction::Forward);
+        let (mut inside, mut total) = (0usize, 0usize);
+        for u in 0..240 {
+            for (v, _) in follow.row(u) {
+                if v < 240 {
+                    total += 1;
+                    if crate::follow::community_of(u, 240, 6)
+                        == crate::follow::community_of(v, 240, 6)
+                    {
+                        inside += 1;
+                    }
+                }
+            }
+        }
+        let frac = inside as f64 / total.max(1) as f64;
+        assert!(frac > 0.5, "in-community follow fraction {frac}");
     }
 
     #[test]

@@ -407,6 +407,35 @@ pub fn resolve_by_score(alignment: &MultiAlignment, k: usize) -> MultiAlignment 
     MultiAlignment { links: accepted }
 }
 
+/// Converts a sharded fit's [`session::StitchedAlignment`] into the
+/// pairwise [`MultiAlignment`] shape the consistency and precision tooling
+/// consumes, labelling correctness against `truth`.
+///
+/// The stitched result concerns one network pair, reported as `nets`
+/// (confirmed boundary anchors keep their `f64::INFINITY` score, so
+/// [`resolve_by_score`] always retains them first).
+pub fn stitched_to_alignment(
+    stitched: &session::StitchedAlignment,
+    nets: (usize, usize),
+    truth: &[hetnet::AnchorLink],
+) -> MultiAlignment {
+    let truth_set: std::collections::HashSet<(u32, u32)> =
+        truth.iter().map(|l| (l.left.0, l.right.0)).collect();
+    MultiAlignment {
+        links: stitched
+            .links
+            .iter()
+            .map(|l| PairwiseLink {
+                nets,
+                left: l.left,
+                right: l.right,
+                score: l.score,
+                correct: truth_set.contains(&(l.left.0, l.right.0)),
+            })
+            .collect(),
+    }
+}
+
 /// Precision of an alignment's links (evaluation convenience).
 pub fn precision(alignment: &MultiAlignment) -> f64 {
     if alignment.links.is_empty() {

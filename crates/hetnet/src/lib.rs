@@ -25,6 +25,7 @@ pub mod builder;
 pub mod error;
 pub mod graph;
 pub mod ids;
+pub mod partition;
 pub mod schema;
 pub mod stats;
 
@@ -33,5 +34,9 @@ pub use builder::HetNetBuilder;
 pub use error::{HetNetError, Result};
 pub use graph::HetNet;
 pub use ids::{LocationId, PostId, TimestampId, UserId, WordId};
+pub use partition::{
+    induce_subnet, match_partitions, MatchedPair, PartitionConfig, PartitionMap, PartitionMatching,
+    PartitionSignature, SubNet,
+};
 pub use schema::{Direction, LinkKind, NodeKind};
 pub use stats::NetworkStats;

@@ -31,8 +31,10 @@ use crate::delta::{DeltaCatalogCounts, DeltaStats, FactorChain, NodeKind};
 use crate::diagram::{AttrPathId, Diagram, SocialPathId};
 use serde::bin::{Error, Reader, Writer};
 use sparsela::codec::{
-    decode_csr, decode_margins, decode_threading, encode_csr, encode_margins, encode_threading,
+    csr_encoded_len, decode_csr, decode_margins, decode_threading, encode_csr, encode_margins,
+    encode_threading, margins_encoded_len,
 };
+use sparsela::Threading;
 
 /// Hostile input could nest `Diagram::Stack` arbitrarily deep; the paper's
 /// catalog never exceeds depth 3, so anything past this bound is refused
@@ -226,6 +228,37 @@ pub fn encode_store(store: &DeltaCatalogCounts, w: &mut Writer) {
     w.usize_slice(&store.catalog_pos);
     encode_threading(store.threading, w);
     encode_stats(&store.stats, w);
+}
+
+fn diagram_encoded_len(d: &Diagram) -> usize {
+    match d {
+        Diagram::Social(_) | Diagram::Attr(_) => 2,
+        Diagram::SocialPair(_, _) | Diagram::AttrPair(_, _) => 3,
+        Diagram::Stack(parts) => 1 + 8 + parts.iter().map(diagram_encoded_len).sum::<usize>(),
+    }
+}
+
+/// Exact byte length [`encode_store`] will produce for `store` — the
+/// snapshot layer pre-sizes its section buffer with this so the encode
+/// pass never reallocates (save-side throughput then tracks the bulk
+/// slice writes instead of `Vec` growth).
+pub fn store_encoded_len(store: &DeltaCatalogCounts) -> usize {
+    let mut len = csr_encoded_len(&store.anchor) + 8; // anchor + node count
+    for i in 0..store.order.len() {
+        len += diagram_encoded_len(&store.order[i]) + 1; // diagram + kind tag
+        len += match &store.kinds[i] {
+            NodeKind::AnchorFree => 0,
+            NodeKind::AnchorChain(chain) => csr_encoded_len(&chain.l) + csr_encoded_len(&chain.r),
+            NodeKind::Stack(parts) => 8 + parts.len() * 8,
+        };
+        len += csr_encoded_len(&store.counts[i]) + margins_encoded_len(&store.sums[i]);
+    }
+    len += 8 + store.catalog_pos.len() * 8; // catalog mapping
+    len += match store.threading {
+        Threading::Threads(_) => 1 + 8,
+        Threading::Serial | Threading::Auto => 1,
+    };
+    len + 3 * 8 // stats
 }
 
 /// Decodes a store encoded by [`encode_store`] and cross-validates it
@@ -463,6 +496,14 @@ mod tests {
                 _ => panic!("node {i}: kind changed across the round trip"),
             }
         }
+    }
+
+    #[test]
+    fn store_encoded_len_is_exact() {
+        let (store, _) = store();
+        let mut w = Writer::new();
+        encode_store(&store, &mut w);
+        assert_eq!(w.len(), store_encoded_len(&store));
     }
 
     #[test]

@@ -95,6 +95,7 @@
 
 mod active;
 pub mod pool;
+pub mod sharded;
 pub mod snapshot;
 mod stages;
 pub mod workers;
@@ -102,6 +103,10 @@ pub mod workers;
 pub use active::{ActiveRunReport, RecountPolicy, RoundStat};
 pub use metadiagram::delta::{CountMerge, StackRegions};
 pub use pool::{PoolError, SessionPool};
+pub use sharded::{
+    RoutingSummary, ShardFitReport, ShardedConfig, ShardedError, ShardedSession, ShardedUpdate,
+    StitchedAlignment, StitchedLink,
+};
 pub use snapshot::SnapshotError;
 pub use stages::{AlignmentSession, Counted, Featurized, Fitted, ProximityRefresh, SessionBuilder};
 

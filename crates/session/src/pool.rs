@@ -105,6 +105,15 @@ pub enum PoolError {
     },
     /// Opening or saving a snapshot failed.
     Snapshot(SnapshotError),
+    /// Opening a specific snapshot file failed — carries the offending
+    /// path so a batch open ([`SessionPool::open_many`]) over dozens of
+    /// shard files names which one refused, not just how.
+    OpenSnapshot {
+        /// The snapshot file that failed to open.
+        path: std::path::PathBuf,
+        /// Why it failed.
+        source: SnapshotError,
+    },
     /// The underlying session operation failed.
     Session(SessionError),
 }
@@ -123,6 +132,9 @@ impl fmt::Display for PoolError {
                 write!(f, "session #{id} is not in the {expected} stage")
             }
             PoolError::Snapshot(e) => write!(f, "pool snapshot: {e}"),
+            PoolError::OpenSnapshot { path, source } => {
+                write!(f, "pool snapshot {}: {source}", path.display())
+            }
             PoolError::Session(e) => write!(f, "pool session: {e}"),
         }
     }
@@ -132,6 +144,7 @@ impl std::error::Error for PoolError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PoolError::Snapshot(e) => Some(e),
+            PoolError::OpenSnapshot { source, .. } => Some(source),
             PoolError::Session(e) => Some(e),
             _ => None,
         }
@@ -237,11 +250,12 @@ impl SessionPool {
     /// Opens many snapshots, sharding the decode work across the worker
     /// budget, and returns one result per path **in path order**.
     /// Successfully opened sessions are inserted in path order too, so
-    /// ids are deterministic; failed paths consume no slot.
+    /// ids are deterministic; failed paths consume no slot and report
+    /// [`PoolError::OpenSnapshot`] naming the offending file.
     pub fn open_many<P: AsRef<Path> + Sync>(
         &mut self,
         paths: &[P],
-    ) -> Vec<Result<SessionId, SnapshotError>> {
+    ) -> Vec<Result<SessionId, PoolError>> {
         let mut opened: Vec<Result<AlignmentSession<Counted>, SnapshotError>> =
             Vec::with_capacity(paths.len());
         run_ordered(
@@ -252,7 +266,14 @@ impl SessionPool {
         );
         opened
             .into_iter()
-            .map(|r| r.map(|session| self.insert(session)))
+            .zip(paths)
+            .map(|(r, path)| match r {
+                Ok(session) => Ok(self.insert(session)),
+                Err(source) => Err(PoolError::OpenSnapshot {
+                    path: path.as_ref().to_path_buf(),
+                    source,
+                }),
+            })
             .collect()
     }
 

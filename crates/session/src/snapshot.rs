@@ -170,9 +170,12 @@ pub(crate) fn counted_core_to_bytes(
     // META: session-level configuration (currently the feature set).
     let mut meta = Writer::new();
     mcodec::encode_feature_set(catalog.feature_set(), &mut meta);
-    // DCNT: the whole delta-count store, threading knob included.
-    let mut counts = Writer::with_capacity(1 << 20);
+    // DCNT: the whole delta-count store, threading knob included. The
+    // buffer is pre-sized to the exact encoded length so the bulk slice
+    // writes never trigger a mid-encode reallocation.
+    let mut counts = Writer::with_capacity(mcodec::store_encoded_len(store));
     mcodec::encode_store(store, &mut counts);
+    debug_assert_eq!(counts.len(), mcodec::store_encoded_len(store));
 
     let sections: [([u8; 4], Vec<u8>); 2] = [
         (SECTION_META, meta.into_bytes()),

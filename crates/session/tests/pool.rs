@@ -56,9 +56,23 @@ fn open_many_reports_bad_paths_without_consuming_slots() {
     snapshot::save(&counted(&w, 6), &good).unwrap();
     let missing = temp_path("never-written");
     let mut pool = SessionPool::new(2);
-    let results = pool.open_many(&[good.clone(), missing, good.clone()]);
+    let results = pool.open_many(&[good.clone(), missing.clone(), good.clone()]);
     assert!(results[0].is_ok());
-    assert!(results[1].is_err());
+    match &results[1] {
+        Err(PoolError::OpenSnapshot { path, source }) => {
+            assert_eq!(path, &missing, "error must name the offending path");
+            assert!(matches!(source, session::SnapshotError::Io(_)));
+        }
+        other => panic!("expected OpenSnapshot error, got {other:?}"),
+    }
+    assert!(
+        results[1]
+            .as_ref()
+            .unwrap_err()
+            .to_string()
+            .contains(missing.to_string_lossy().as_ref()),
+        "display must include the offending path"
+    );
     assert!(results[2].is_ok());
     assert_eq!(pool.len(), 2, "failed open must not consume a slot");
     std::fs::remove_file(&good).ok();

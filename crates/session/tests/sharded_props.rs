@@ -1,0 +1,258 @@
+//! Property tests of the sharded pipeline.
+//!
+//! 1. Under the trivial single-partition map, [`ShardedSession`] is
+//!    **bit-identical** to a plain [`AlignmentSession`] driven through the
+//!    same active loop — at any worker budget.
+//! 2. Boundary-ledger anchors survive a `save_dir`/`open_dir` round-trip
+//!    and re-enter the stitched result as confirmed links.
+
+use activeiter::driver::ActiveLoop;
+use activeiter::query::ConflictQuery;
+use activeiter::{FitReport, ModelConfig, Oracle, VecOracle};
+use hetnet::partition::PartitionMap;
+use hetnet::{AnchorLink, UserId};
+use session::sharded::{ShardedConfig, ShardedSession};
+use session::SessionBuilder;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sharded-test-{}-{tag}", std::process::id()))
+}
+
+/// The reference pipeline: one global session, the same manual loop the
+/// sharded fit drives per shard.
+fn reference_fit(
+    world: &datagen::GeneratedWorld,
+    anchors: &[AnchorLink],
+    candidates: &[(UserId, UserId)],
+    labeled_pos: &[usize],
+    truth: &[bool],
+    config: &ModelConfig,
+) -> FitReport {
+    let session = SessionBuilder::new(world.left(), world.right())
+        .anchors(anchors.to_vec())
+        .count()
+        .expect("generated networks share attribute universes")
+        .featurize(candidates.to_vec());
+    let oracle = VecOracle::new(truth.to_vec());
+    let mut strategy = ConflictQuery::new(config.similar_tau, config.margin_delta);
+    let mut drv = ActiveLoop::new(session.instance(labeled_pos.to_vec()), config.clone());
+    loop {
+        drv.converge();
+        if drv.remaining() == 0 {
+            break;
+        }
+        let selection = drv.select_queries(&mut strategy);
+        if selection.is_empty() {
+            break;
+        }
+        for idx in selection {
+            drv.apply_answer(idx, oracle.label(idx));
+        }
+    }
+    drv.finish()
+}
+
+#[test]
+fn trivial_partition_is_bit_identical_to_global_session() {
+    let world = datagen::generate(&datagen::presets::tiny(41));
+    let truth_links = world.truth().links().to_vec();
+    let anchors = truth_links[..8].to_vec();
+    let candidates: Vec<_> = truth_links.iter().map(|l| (l.left, l.right)).collect();
+    let labeled_pos: Vec<usize> = (0..8).collect();
+    let truth = vec![true; candidates.len()];
+    let config = ModelConfig {
+        budget: 12,
+        ..Default::default()
+    };
+
+    let reference = reference_fit(&world, &anchors, &candidates, &labeled_pos, &truth, &config);
+
+    for workers in [1usize, 2, 8] {
+        let mut sharded = ShardedSession::with_partitions(
+            world.left(),
+            world.right(),
+            PartitionMap::trivial(world.left().n_users()),
+            PartitionMap::trivial(world.right().n_users()),
+            anchors.clone(),
+            &ShardedConfig {
+                workers,
+                ..Default::default()
+            },
+        )
+        .expect("trivial partitioning always matches");
+        assert_eq!(sharded.n_shards(), 1);
+        assert!(sharded.boundary_anchors().is_empty());
+
+        let routing = sharded.featurize(candidates.clone()).unwrap();
+        assert_eq!(routing.routed, candidates.len());
+        assert_eq!(routing.pruned, 0);
+
+        let stitched = sharded
+            .fit(&labeled_pos, &VecOracle::new(truth.clone()), &config)
+            .unwrap();
+
+        let shard = &stitched.shard_reports[0];
+        assert_eq!(
+            shard.rows,
+            (0..candidates.len()).collect::<Vec<_>>(),
+            "single-shard routing must be the identity at {workers} workers"
+        );
+        assert_eq!(shard.report.labels, reference.labels, "{workers} workers");
+        assert_eq!(shard.report.scores, reference.scores, "{workers} workers");
+        assert_eq!(shard.report.weights, reference.weights, "{workers} workers");
+        assert_eq!(shard.report.queried, reference.queried, "{workers} workers");
+        assert_eq!(shard.report.rounds, reference.rounds, "{workers} workers");
+
+        // The stitched links are exactly the reference's predicted
+        // positives (no boundary anchors, no conflicts possible against a
+        // one-to-one truth set).
+        let mut expected: Vec<(UserId, UserId)> = reference
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == 1.0)
+            .map(|(i, _)| candidates[i])
+            .collect();
+        expected.sort();
+        let got: Vec<(UserId, UserId)> = stitched.links.iter().map(|l| (l.left, l.right)).collect();
+        assert_eq!(got, expected, "{workers} workers");
+        assert_eq!(stitched.pruned_candidates, 0);
+    }
+}
+
+#[test]
+fn boundary_anchors_survive_save_open_round_trip() {
+    let world = datagen::generate(&datagen::presets::tiny(43));
+    let n_left = world.left().n_users();
+    let n_right = world.right().n_users();
+    let truth_links = world.truth().links().to_vec();
+
+    // Left split in half, right left whole: matching pairs one left
+    // partition with the right network; the other left partition is
+    // unmatched, so every anchor rooted there lands in the boundary
+    // ledger.
+    let left_assign: Vec<usize> = (0..n_left).map(|u| usize::from(u >= n_left / 2)).collect();
+    let left_map = PartitionMap::from_assignment(&left_assign, world.left());
+    let right_map = PartitionMap::trivial(n_right);
+
+    // Seven anchors in the lower half, three in the upper: the lower pair
+    // wins the (hard-constrained) matching, the upper three become
+    // boundary-ledger anchors.
+    let mut anchors = truth_links[..7].to_vec();
+    anchors.extend_from_slice(&truth_links[truth_links.len() - 3..]);
+    let mut sharded = ShardedSession::with_partitions(
+        world.left(),
+        world.right(),
+        left_map,
+        right_map,
+        anchors.clone(),
+        &ShardedConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(sharded.n_shards(), 1);
+    assert_eq!(sharded.matching().unmatched_left.len(), 1);
+    let expected_boundary: Vec<AnchorLink> = {
+        let matched_left = sharded.matching().pairs[0].left;
+        anchors
+            .iter()
+            .copied()
+            .filter(|a| sharded.left_partitions().part_of(a.left) != matched_left)
+            .collect()
+    };
+    assert!(
+        !expected_boundary.is_empty(),
+        "fixture must produce boundary anchors"
+    );
+    assert_eq!(sharded.boundary_anchors(), expected_boundary.as_slice());
+
+    // More boundary anchors arrive mid-session via update_anchors; a
+    // duplicate is skipped.
+    let extra = truth_links[10];
+    let update = sharded.update_anchors(&[extra, extra]).unwrap();
+    let extra_is_boundary =
+        sharded.left_partitions().part_of(extra.left) != sharded.matching().pairs[0].left;
+    if extra_is_boundary {
+        assert_eq!(update.boundary, 1);
+    } else {
+        assert_eq!(update.applied, 1);
+    }
+
+    let dir = temp_dir("roundtrip");
+    sharded.save_dir(&dir).unwrap();
+    let reopened = ShardedSession::open_dir(&dir, &ShardedConfig::default()).unwrap();
+
+    assert_eq!(reopened.n_shards(), sharded.n_shards());
+    assert_eq!(reopened.boundary_anchors(), sharded.boundary_anchors());
+    assert_eq!(
+        reopened.left_partitions().raw_parts(),
+        sharded.left_partitions().raw_parts()
+    );
+    assert_eq!(
+        reopened.right_partitions().raw_parts(),
+        sharded.right_partitions().raw_parts()
+    );
+    assert_eq!(
+        reopened.matching().pairs.len(),
+        sharded.matching().pairs.len()
+    );
+
+    // The reopened ensemble fits, and every boundary anchor re-enters the
+    // stitched result as a confirmed link.
+    let mut reopened = reopened;
+    let candidates: Vec<_> = truth_links.iter().map(|l| (l.left, l.right)).collect();
+    let truth = vec![true; candidates.len()];
+    let routing = reopened.featurize(candidates.clone()).unwrap();
+    assert_eq!(routing.routed + routing.pruned, candidates.len());
+    let labeled: Vec<usize> = (0..10).collect();
+    let config = ModelConfig {
+        budget: 8,
+        ..Default::default()
+    };
+    let stitched = reopened
+        .fit(&labeled, &VecOracle::new(truth), &config)
+        .unwrap();
+    for anchor in reopened.boundary_anchors() {
+        let link = stitched
+            .links
+            .iter()
+            .find(|l| l.left == anchor.left && l.right == anchor.right)
+            .expect("boundary anchor must appear in the stitched alignment");
+        assert!(link.confirmed);
+        assert_eq!(link.score, f64::INFINITY);
+        assert_eq!(link.shard, None);
+    }
+    assert_eq!(stitched.pruned_candidates, routing.pruned);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn open_dir_rejects_a_corrupt_manifest() {
+    let world = datagen::generate(&datagen::presets::tiny(47));
+    let sharded = ShardedSession::with_partitions(
+        world.left(),
+        world.right(),
+        PartitionMap::trivial(world.left().n_users()),
+        PartitionMap::trivial(world.right().n_users()),
+        world.truth().links()[..5].to_vec(),
+        &ShardedConfig::default(),
+    )
+    .unwrap();
+    let dir = temp_dir("corrupt");
+    sharded.save_dir(&dir).unwrap();
+    let manifest = dir.join(session::sharded::MANIFEST_FILE);
+    let mut bytes = std::fs::read(&manifest).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&manifest, &bytes).unwrap();
+    let err = ShardedSession::open_dir(&dir, &ShardedConfig::default()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            session::sharded::ShardedError::Manifest(session::SnapshotError::Checksum { .. })
+        ),
+        "corrupting the manifest tail must trip the checksum, got: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

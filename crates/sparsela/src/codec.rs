@@ -35,6 +35,13 @@ pub fn encode_csr(m: &CsrMatrix, w: &mut Writer) {
     w.f64_slice(m.values());
 }
 
+/// Exact byte length [`encode_csr`] will produce for `m` — lets callers
+/// pre-size a [`Writer`] instead of growing it geometrically mid-encode.
+pub fn csr_encoded_len(m: &CsrMatrix) -> usize {
+    // nrows + ncols + three length prefixes, then the three payloads.
+    5 * 8 + (m.indptr().len() + m.indices().len() + m.values().len()) * 8
+}
+
 /// Decodes a CSR matrix, re-validating every structural invariant
 /// (monotone `indptr`, strictly increasing in-bounds column indices,
 /// matching array lengths) via [`CsrMatrix::try_new`].
@@ -57,6 +64,12 @@ pub fn decode_csr(r: &mut Reader<'_>) -> Result<CsrMatrix, Error> {
 pub fn encode_margins(s: &MarginSums, w: &mut Writer) {
     w.f64_slice(s.rows());
     w.f64_slice(s.cols());
+}
+
+/// Exact byte length [`encode_margins`] will produce for `s` (see
+/// [`csr_encoded_len`]).
+pub fn margins_encoded_len(s: &MarginSums) -> usize {
+    2 * 8 + (s.rows().len() + s.cols().len()) * 8
 }
 
 /// Decodes margin sums. Shape consistency with the matrix they describe
@@ -156,6 +169,19 @@ mod tests {
         bytes[24] = 255;
         let mut r = Reader::new(&bytes);
         assert!(matches!(decode_csr(&mut r), Err(Error::Malformed(_))));
+    }
+
+    #[test]
+    fn encoded_len_hints_are_exact() {
+        for m in [sample(), CsrMatrix::zeros(0, 0), CsrMatrix::identity(7)] {
+            let mut w = Writer::new();
+            encode_csr(&m, &mut w);
+            assert_eq!(w.len(), csr_encoded_len(&m));
+            let s = MarginSums::of(&m);
+            let mut w = Writer::new();
+            encode_margins(&s, &mut w);
+            assert_eq!(w.len(), margins_encoded_len(&s));
+        }
     }
 
     #[test]

@@ -85,10 +85,11 @@ pub mod prelude {
         ranking_report, run_experiment, run_fold, CellResult, ExperimentSpec, LinkSet, Method,
         Metrics, RankingReport, Table,
     };
+    pub use hetnet::partition::{PartitionConfig, PartitionMap};
     pub use hetnet::{AlignedPair, AnchorLink, AnchorSet, HetNet, HetNetBuilder, UserId};
     pub use metadiagram::{Catalog, CountEngine, Diagram, FeatureSet};
     pub use session::{
         snapshot, ActiveRunReport, AlignmentSession, AnchorEdge, RecountPolicy, SessionBuilder,
-        SessionPool,
+        SessionPool, ShardedConfig, ShardedSession, StitchedAlignment,
     };
 }

@@ -149,21 +149,41 @@ impl Writer {
         self.buf.extend_from_slice(v);
     }
 
+    /// Reserves room for at least `additional` more bytes — callers that
+    /// know their encoded length (the snapshot codecs compute it exactly)
+    /// pre-size once instead of growing the buffer geometrically.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
     /// Appends a `u64` length prefix followed by the slice's `usize`
     /// elements (each as `u64`).
+    ///
+    /// The payload is materialized as one `8 × len` byte block written in
+    /// fixed-size chunks — the encode mirror of [`Reader::usize_slice`]'s
+    /// `chunks_exact` decode: one reservation and no per-element capacity
+    /// checks, which matters when snapshot save walks tens of millions of
+    /// CSR indices.
     pub fn usize_slice(&mut self, v: &[usize]) {
+        self.reserve(8 + v.len() * 8);
         self.usize(v.len());
-        for &x in v {
-            self.usize(x);
+        let start = self.buf.len();
+        self.buf.resize(start + v.len() * 8, 0);
+        for (chunk, &x) in self.buf[start..].chunks_exact_mut(8).zip(v) {
+            chunk.copy_from_slice(&(x as u64).to_le_bytes());
         }
     }
 
     /// Appends a `u64` length prefix followed by the slice's `f64`
-    /// elements (bit patterns).
+    /// elements (bit patterns), bulk-written as for
+    /// [`Writer::usize_slice`].
     pub fn f64_slice(&mut self, v: &[f64]) {
+        self.reserve(8 + v.len() * 8);
         self.usize(v.len());
-        for &x in v {
-            self.f64(x);
+        let start = self.buf.len();
+        self.buf.resize(start + v.len() * 8, 0);
+        for (chunk, &x) in self.buf[start..].chunks_exact_mut(8).zip(v) {
+            chunk.copy_from_slice(&x.to_bits().to_le_bytes());
         }
     }
 }

@@ -175,6 +175,7 @@ impl<'a> ActiveLoop<'a> {
             let delta = l1_distance(&sel.labels, &self.y);
             self.y = sel.labels;
             deltas.push(delta);
+            // srclint: allow(float_eq, reason = "labels are exact 0/1 sentinels, so the L1 delta is exactly 0.0 iff no label flipped")
             if delta == 0.0 {
                 break;
             }

@@ -10,21 +10,9 @@
 //! whose two endpoints are still free — a ½-approximation of the optimum
 //! (property-tested here against an exact matcher).
 
+use crate::ord::cmp_scores_desc;
 use hetnet::UserId;
-use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
-
-/// Descending score order with NaN **last**: any real score outranks NaN,
-/// and NaNs tie among themselves. `partial_cmp(..).expect(..)` here would
-/// take down a whole selection round on one degenerate score.
-fn cmp_scores_desc(a: f64, b: f64) -> Ordering {
-    match (a.is_nan(), b.is_nan()) {
-        (true, true) => Ordering::Equal,
-        (true, false) => Ordering::Greater, // NaN sorts after b
-        (false, true) => Ordering::Less,
-        (false, false) => b.total_cmp(&a),
-    }
-}
 
 /// Result of a greedy selection round.
 #[derive(Debug, Clone, PartialEq)]
@@ -155,6 +143,7 @@ pub fn optimal_select(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cmp::Ordering;
 
     fn c(pairs: &[(u32, u32)]) -> Vec<(UserId, UserId)> {
         pairs.iter().map(|&(l, r)| (UserId(l), UserId(r))).collect()

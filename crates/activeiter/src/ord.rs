@@ -1,0 +1,64 @@
+//! NaN-safe score ordering, shared by every ranked selection in this
+//! crate.
+//!
+//! Scores come out of floating-point model evaluations; a degenerate
+//! feature vector can make one NaN, and `partial_cmp(..).expect(..)`
+//! inside a `sort_by` then takes down the whole selection round — the
+//! incident fixed in `eval` (PR 2), fixed again in [`crate::greedy`]
+//! (PR 4), and reintroduced twice more before `srclint` started gating
+//! it (`docs/LINTS.md`, `nan_unsafe_comparator`). These comparators are
+//! total: every real score outranks NaN, and NaNs tie among themselves.
+
+use std::cmp::Ordering;
+
+/// Descending score order with NaN **last**: any real score outranks
+/// NaN. The canonical ranking order ("best first").
+pub(crate) fn cmp_scores_desc(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater, // NaN sorts after b
+        (false, true) => Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
+
+/// Ascending order with NaN **last**: any real value sorts before NaN
+/// (for "smallest distance first" rankings).
+pub(crate) fn cmp_scores_asc(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater, // NaN sorts after b
+        (false, true) => Ordering::Less,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn desc_ranks_real_scores_first() {
+        let mut v = [0.2, f64::NAN, 0.9, 0.5];
+        v.sort_by(|a, b| cmp_scores_desc(*a, *b));
+        assert_eq!(v[..3], [0.9, 0.5, 0.2]);
+        assert!(v[3].is_nan());
+    }
+
+    #[test]
+    fn asc_ranks_real_scores_first() {
+        let mut v = [0.2, f64::NAN, 0.9, 0.5];
+        v.sort_by(|a, b| cmp_scores_asc(*a, *b));
+        assert_eq!(v[..3], [0.2, 0.5, 0.9]);
+        assert!(v[3].is_nan());
+    }
+
+    #[test]
+    fn both_are_total_orders_over_nan() {
+        for cmp in [cmp_scores_desc, cmp_scores_asc] {
+            assert_eq!(cmp(f64::NAN, f64::NAN), Ordering::Equal);
+            assert_eq!(cmp(f64::NAN, 1.0), Ordering::Greater);
+            assert_eq!(cmp(1.0, f64::NAN), Ordering::Less);
+        }
+    }
+}

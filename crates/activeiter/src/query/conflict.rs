@@ -26,6 +26,7 @@
 //! no-fallback variant is kept for the query-strategy ablation.
 
 use super::{QueryContext, QueryStrategy};
+use crate::ord::cmp_scores_desc;
 use std::collections::{HashMap, HashSet};
 
 /// The paper's query strategy (with tiered fallback by default).
@@ -73,6 +74,7 @@ impl QueryStrategy for ConflictQuery {
         let mut left_pos: HashMap<u32, usize> = HashMap::new();
         let mut right_pos: HashMap<u32, usize> = HashMap::new();
         for (i, &lab) in ctx.labels.iter().enumerate() {
+            // srclint: allow(float_eq, reason = "labels are exact 0.0/1.0 sentinels assigned by the driver, never computed")
             if lab == 1.0 {
                 left_pos.insert(ctx.candidates[i].0 .0, i);
                 right_pos.insert(ctx.candidates[i].1 .0, i);
@@ -91,6 +93,7 @@ impl QueryStrategy for ConflictQuery {
         let mut tier3: Vec<(usize, f64)> = Vec::new();
 
         for i in 0..ctx.candidates.len() {
+            // srclint: allow(float_eq, reason = "labels are exact 0.0/1.0 sentinels assigned by the driver, never computed")
             if !ctx.queryable[i] || ctx.labels[i] == 1.0 {
                 continue;
             }
@@ -127,7 +130,7 @@ impl QueryStrategy for ConflictQuery {
         }
 
         let by_value_desc = |v: &mut Vec<(usize, f64)>| {
-            v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+            v.sort_by(|a, b| cmp_scores_desc(a.1, b.1).then(a.0.cmp(&b.0)));
         };
         by_value_desc(&mut tier1);
         by_value_desc(&mut tier2);

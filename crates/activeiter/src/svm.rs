@@ -68,6 +68,7 @@ impl SvmModel {
             order.shuffle(&mut rng);
             let mut max_pg: f64 = 0.0;
             for &i in &order {
+                // srclint: allow(float_eq, reason = "qii is exactly 0.0 only for an all-zero feature row, which must be skipped")
                 if qii[i] == 0.0 {
                     continue;
                 }
@@ -75,6 +76,7 @@ impl SvmModel {
                 let margin: f64 = w.iter().zip(xi).map(|(a, b)| a * b).sum();
                 let g = y[i] * margin - 1.0;
                 // Projected gradient for the box constraint 0 ≤ α ≤ C.
+                // srclint: allow(float_eq, reason = "alpha reaches the box bounds exactly via clamp, so equality is reliable")
                 let pg = if alpha[i] == 0.0 {
                     g.min(0.0)
                 } else if alpha[i] == cfg.c {
@@ -87,6 +89,7 @@ impl SvmModel {
                     let old = alpha[i];
                     alpha[i] = (old - g / qii[i]).clamp(0.0, cfg.c);
                     let step = (alpha[i] - old) * y[i];
+                    // srclint: allow(float_eq, reason = "step is exactly 0.0 when clamp left alpha unchanged; skips a no-op update")
                     if step != 0.0 {
                         for (wj, &xj) in w.iter_mut().zip(xi) {
                             *wj += step * xj;

@@ -58,6 +58,7 @@ fn linear_r2(xs: &[f64], ys: &[f64]) -> f64 {
     let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
     let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
     let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    // srclint: allow(float_eq, reason = "exact-zero variance guard before dividing")
     if sxx == 0.0 || syy == 0.0 {
         return 1.0;
     }

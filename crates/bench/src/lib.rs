@@ -78,6 +78,7 @@ impl HarnessOpts {
                     opts.threads = args
                         .get(i)
                         .and_then(|v| v.parse().ok())
+                        // srclint: allow(panic_in_lib, reason = "CLI flag validation: aborting with a message is the bench harness contract")
                         .expect("--threads needs an integer");
                 }
                 "--seed" => {
@@ -85,6 +86,7 @@ impl HarnessOpts {
                     opts.seed = args
                         .get(i)
                         .and_then(|v| v.parse().ok())
+                        // srclint: allow(panic_in_lib, reason = "CLI flag validation: aborting with a message is the bench harness contract")
                         .expect("--seed needs an integer");
                 }
                 "--rotations" => {
@@ -92,6 +94,7 @@ impl HarnessOpts {
                     opts.rotations = args
                         .get(i)
                         .and_then(|v| v.parse().ok())
+                        // srclint: allow(panic_in_lib, reason = "CLI flag validation: aborting with a message is the bench harness contract")
                         .expect("--rotations needs an integer");
                 }
                 other => eprintln!("note: ignoring unknown flag {other}"),

@@ -54,6 +54,7 @@ impl PopularitySampler {
             acc += ((i + 1) as f64).powf(-skew);
             cdf.push(acc);
         }
+        // srclint: allow(panic_in_lib, reason = "cdf is non-empty: the constructor asserts n > 0 above")
         let total = *cdf.last().unwrap();
         for v in &mut cdf {
             *v /= total;
@@ -64,10 +65,7 @@ impl PopularitySampler {
     /// Draws one index.
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         let u: f64 = rng.gen();
-        match self
-            .cdf
-            .binary_search_by(|probe| probe.partial_cmp(&u).expect("finite cdf"))
-        {
+        match self.cdf.binary_search_by(|probe| probe.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

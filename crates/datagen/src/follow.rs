@@ -177,6 +177,7 @@ fn sample_degree(rng: &mut StdRng, mean: f64) -> usize {
     // Geometric with success prob 1/mean has mean `mean`; add the +1 shift
     // so the distribution starts at 1 and keep the mean by using mean-1.
     let shifted = (mean - 1.0).max(0.0);
+    // srclint: allow(float_eq, reason = "shifted comes from max(0.0); exact 0.0 is the clamp sentinel")
     if shifted == 0.0 {
         return 1;
     }

@@ -238,6 +238,7 @@ fn run_fold_threaded(
                 &session.features().x,
                 0.0,
             );
+            // srclint: allow(float_eq, reason = "labels are exact 0.0/1.0 sentinels assigned by the driver, never computed")
             let preds = result.labels.iter().map(|&l| l == 1.0).collect();
             (preds, result.scores, None)
         } else if method.is_svm() {
@@ -279,6 +280,7 @@ fn run_fold_threaded(
             let report = session
                 .fit(train_pos.clone(), &oracle, &config, strat.as_mut())
                 .into_report();
+            // srclint: allow(float_eq, reason = "labels are exact 0.0/1.0 sentinels assigned by the driver, never computed")
             let preds = report.labels.iter().map(|&l| l == 1.0).collect();
             let scores = report.scores.clone();
             (preds, scores, Some(report))
@@ -339,6 +341,7 @@ pub fn run_experiment(world: &GeneratedWorld, spec: &ExperimentSpec, method: Met
                 let run = run_fold_threaded(world, ls, spec, method, fold, extract_threads);
                 results
                     .lock()
+                    // srclint: allow(panic_in_lib, reason = "a poisoned mutex means a fold worker already panicked; re-raising is intended")
                     .expect("fold results mutex poisoned")
                     .push((fold, run.metrics));
             });
@@ -346,6 +349,7 @@ pub fn run_experiment(world: &GeneratedWorld, spec: &ExperimentSpec, method: Met
     });
     let mut results = results
         .into_inner()
+        // srclint: allow(panic_in_lib, reason = "a poisoned mutex means a fold worker already panicked; re-raising is intended")
         .expect("fold results mutex poisoned after join");
     results.sort_by_key(|&(fold, _)| fold);
     let metrics: Vec<Metrics> = results.into_iter().map(|(_, m)| m).collect();

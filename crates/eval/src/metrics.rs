@@ -65,6 +65,7 @@ impl Confusion {
     pub fn f1(&self) -> f64 {
         let p = self.precision();
         let r = self.recall();
+        // srclint: allow(float_eq, reason = "p + r is exactly 0.0 only when both counts are zero; guards the division")
         if p + r == 0.0 {
             0.0
         } else {

@@ -254,6 +254,7 @@ fn align_pair(
         .labels
         .iter()
         .enumerate()
+        // srclint: allow(float_eq, reason = "labels are exact 0.0/1.0 sentinels assigned by the driver, never computed")
         .filter(|&(_, &label)| label == 1.0)
         .map(|(i, _)| PairwiseLink {
             nets: (a, b),

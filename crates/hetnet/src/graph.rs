@@ -141,6 +141,7 @@ impl HetNet {
 
     /// True when `u` follows `v`.
     pub fn follows(&self, u: UserId, v: UserId) -> bool {
+        // srclint: allow(float_eq, reason = "the follow matrix stores exact 0.0/1.0 entries; this is a membership test")
         self.follow.get(u.index(), v.index()) != 0.0
     }
 }

@@ -617,12 +617,13 @@ pub fn match_partitions(
             scored.push((l, r, sl.similarity(sr)));
         }
     }
-    // Similarities are finite by construction (sums of finite mins), so
-    // the comparison cannot observe NaN; the id tie-break keeps the order
-    // total and deterministic.
+    // Similarities are finite by construction (sums of finite mins), but
+    // the comparator stays NaN-safe anyway: `unwrap_or(Equal)` on a NaN
+    // would silently break the total order `sort_by` requires, so this
+    // is the NaN-last `total_cmp` idiom with the id tie-break keeping
+    // the order deterministic.
     scored.sort_by(|a, b| {
-        b.2.partial_cmp(&a.2)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        cmp_similarity_desc(a.2, b.2)
             .then(a.0.cmp(&b.0))
             .then(a.1.cmp(&b.1))
     });
@@ -645,6 +646,18 @@ pub fn match_partitions(
         unmatched_left: (0..kl).filter(|&l| !left_taken[l]).collect(),
         unmatched_right: (0..kr).filter(|&r| !right_taken[r]).collect(),
     })
+}
+
+/// Descending similarity with NaN **last** (total order): any real
+/// similarity outranks NaN, NaNs tie among themselves — the `activeiter`
+/// `cmp_scores_desc` idiom.
+fn cmp_similarity_desc(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
 }
 
 // --- Induced sub-networks ---------------------------------------------

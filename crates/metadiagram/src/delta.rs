@@ -580,6 +580,7 @@ impl DeltaCatalogCounts {
                     count: n2,
                 });
             }
+            // srclint: allow(float_eq, reason = "anchor entries are exact 0.0/1.0; this is a membership test, not arithmetic")
             if self.anchor.get(i, j) != 0.0 || !seen.insert((i, j)) {
                 continue;
             }
@@ -823,6 +824,7 @@ impl DeltaCatalogCounts {
                         }
                         std::cmp::Ordering::Equal => {
                             let v = va * vb;
+                            // srclint: allow(float_eq, reason = "exact sparsity test: skips explicitly-stored zeros, no arithmetic involved")
                             if v != 0.0 {
                                 merged.push((ca, v));
                             }

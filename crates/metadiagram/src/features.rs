@@ -198,6 +198,7 @@ where
         for (col, prox) in proxies.iter().enumerate() {
             for (row, &(l, r)) in candidates.iter().enumerate() {
                 let v = prox.borrow().get(l.index(), r.index());
+                // srclint: allow(float_eq, reason = "exact sparsity test: skips explicitly-stored zeros, no arithmetic involved")
                 if v != 0.0 {
                     x[(row, col)] = v;
                 }
@@ -217,6 +218,7 @@ where
                         for (col, prox) in proxies.iter().enumerate() {
                             for (row, &(l, r)) in batch.iter().enumerate() {
                                 let v = prox.borrow().get(l.index(), r.index());
+                                // srclint: allow(float_eq, reason = "exact sparsity test: skips explicitly-stored zeros, no arithmetic involved")
                                 if v != 0.0 {
                                     buf[row * ncols + col] = v;
                                 }

@@ -741,6 +741,7 @@ impl ShardedSession {
             let local_cands = sr.report.labels.len();
             debug_assert_eq!(local_cands, shard.rows.len());
             for row in 0..local_cands {
+                // srclint: allow(float_eq, reason = "labels are exact 0.0/1.0 sentinels assigned by the driver, never computed")
                 if sr.report.labels[row] == 1.0 {
                     // Translate back through this shard's candidate list:
                     // proximate global ids live in the pool's featurized
@@ -908,14 +909,11 @@ fn encode_map(w: &mut Writer, map: &PartitionMap) {
 }
 
 fn decode_map(r: &mut Reader<'_>) -> Result<PartitionMap, SnapshotError> {
-    let n = r.usize()?;
-    if n.saturating_mul(5) > r.remaining() {
-        return Err(BinError::BadLength {
-            declared: n as u64,
-            remaining: r.remaining(),
-        }
-        .into());
-    }
+    // Each user costs 4 bytes of partition id + 1 boundary byte, so the
+    // length prefix is bounded by the remaining input before it sizes
+    // any allocation (the PR 5 `seq_len` guard; `unguarded_prealloc`
+    // enforces the pattern).
+    let n = r.seq_len(5)?;
     let mut part_of = Vec::with_capacity(n);
     let mut next_dense = 0u32;
     for _ in 0..n {
@@ -1054,7 +1052,7 @@ fn cmp_scores_desc(a: f64, b: f64) -> std::cmp::Ordering {
         (true, true) => std::cmp::Ordering::Equal,
         (true, false) => std::cmp::Ordering::Greater,
         (false, true) => std::cmp::Ordering::Less,
-        (false, false) => b.partial_cmp(&a).expect("both finite or infinite"),
+        (false, false) => b.total_cmp(&a),
     }
 }
 

@@ -241,7 +241,12 @@ pub fn from_bytes(bytes: &[u8]) -> Result<AlignmentSession<Counted>, SnapshotErr
     let mut meta_payload: Option<&[u8]> = None;
     let mut counts_payload: Option<&[u8]> = None;
     for _ in 0..n_sections {
-        let id: [u8; 4] = table.bytes(4)?.try_into().expect("fixed-width read");
+        // `bytes(4)` yields exactly 4 bytes on success, but a decode path
+        // never panics on principle (`panic_in_lib`): a width mismatch
+        // surfaces as a malformed-snapshot error like every other defect.
+        let id: [u8; 4] = table.bytes(4)?.try_into().map_err(|_| {
+            SnapshotError::Decode(BinError::Malformed("section id is not 4 bytes".into()))
+        })?;
         let offset = table.u64()? as usize;
         let len = table.u64()? as usize;
         let crc = table.u32()?;

@@ -41,9 +41,11 @@ impl CsrMatrix {
         if indptr[0] != 0 {
             return Err(SparseError::InvalidStructure("indptr[0] != 0".into()));
         }
+        // srclint: allow(panic_in_lib, reason = "indptr.len() == nrows + 1 >= 1 was validated two checks above")
         if *indptr.last().unwrap() != indices.len() || indices.len() != values.len() {
             return Err(SparseError::InvalidStructure(format!(
                 "indptr end {} vs indices {} vs values {}",
+                // srclint: allow(panic_in_lib, reason = "indptr.len() == nrows + 1 >= 1 was validated two checks above")
                 indptr.last().unwrap(),
                 indices.len(),
                 values.len()
@@ -145,6 +147,7 @@ impl CsrMatrix {
         for r in 0..nrows {
             for c in 0..ncols {
                 let v = data[r * ncols + c];
+                // srclint: allow(float_eq, reason = "exact sparsity test: skips explicitly-stored zeros, no arithmetic involved")
                 if v != 0.0 {
                     indices.push(c);
                     values.push(v);

@@ -98,6 +98,7 @@ impl DenseMatrix {
             let row = self.row(r);
             for i in 0..d {
                 let xi = row[i];
+                // srclint: allow(float_eq, reason = "exact sparsity test: skips explicitly-stored zeros, no arithmetic involved")
                 if xi == 0.0 {
                     continue;
                 }
@@ -134,6 +135,7 @@ impl DenseMatrix {
         assert_eq!(y.len(), self.nrows, "tr_matvec dimension mismatch");
         let mut out = vec![0.0; self.ncols];
         for (r, &w) in y.iter().enumerate() {
+            // srclint: allow(float_eq, reason = "exact sparsity test: skips explicitly-stored zeros, no arithmetic involved")
             if w == 0.0 {
                 continue;
             }
@@ -154,6 +156,7 @@ impl DenseMatrix {
         for i in 0..self.nrows {
             for k in 0..self.ncols {
                 let a = self[(i, k)];
+                // srclint: allow(float_eq, reason = "exact sparsity test: skips explicitly-stored zeros, no arithmetic involved")
                 if a == 0.0 {
                     continue;
                 }

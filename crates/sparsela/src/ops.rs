@@ -49,6 +49,7 @@ impl CsrMatrix {
                     }
                     std::cmp::Ordering::Equal => {
                         let v = va * vb;
+                        // srclint: allow(float_eq, reason = "exact sparsity test: skips explicitly-stored zeros, no arithmetic involved")
                         if v != 0.0 {
                             indices.push(ca);
                             values.push(v);
@@ -97,6 +98,7 @@ impl CsrMatrix {
                         }
                         std::cmp::Ordering::Equal => {
                             let v = va + vb;
+                            // srclint: allow(float_eq, reason = "exact sparsity test: skips explicitly-stored zeros, no arithmetic involved")
                             if v != 0.0 {
                                 indices.push(ca);
                                 values.push(v);

@@ -294,6 +294,7 @@ fn accumulate_block(
             touched.clear();
             for (k, lv) in lhs.row(i) {
                 for (j, rv) in rhs.row(k) {
+                    // srclint: allow(float_eq, reason = "0.0 marks an untouched scratch slot; the touched list depends on it")
                     if scratch[j] == 0.0 {
                         touched.push(j);
                     }
@@ -304,6 +305,7 @@ fn accumulate_block(
             for &j in &touched {
                 let v = scratch[j];
                 scratch[j] = 0.0;
+                // srclint: allow(float_eq, reason = "dropping exact-zero accumulation results keeps the output sparse")
                 if v != 0.0 {
                     indices.push(j);
                     values.push(v);
@@ -323,6 +325,7 @@ fn accumulate_block(
                     if j == cur_j {
                         cur_v += v;
                     } else {
+                        // srclint: allow(float_eq, reason = "dropping exact-zero accumulation results keeps the output sparse")
                         if cur_v != 0.0 {
                             indices.push(cur_j);
                             values.push(cur_v);
@@ -331,6 +334,7 @@ fn accumulate_block(
                         cur_v = v;
                     }
                 }
+                // srclint: allow(float_eq, reason = "dropping exact-zero accumulation results keeps the output sparse")
                 if cur_v != 0.0 {
                     indices.push(cur_j);
                     values.push(cur_v);

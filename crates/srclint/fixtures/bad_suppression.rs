@@ -1,0 +1,11 @@
+//! Malformed suppressions — each marker below is a hard error (exit 1)
+//! even though the file has no findings at all.
+
+// srclint: allow(float_eq)
+fn missing_reason() {}
+
+// srclint: allow(made_up_lint, reason = "no such lint exists")
+fn unknown_lint() {}
+
+// srclint: allow(float_eq, reason = "")
+fn empty_reason() {}

@@ -1,0 +1,33 @@
+//! Negative control: no lint fires here. srclint must exit 0.
+
+use std::cmp::Ordering;
+
+fn cmp_scores_desc(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
+
+fn decode_guarded(r: &mut Reader) -> Result<Vec<u64>, BinError> {
+    let n = r.seq_len(8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u64_checked()?);
+    }
+    Ok(out)
+}
+
+fn scoped_workers(xs: &mut [f64]) {
+    std::thread::scope(|s| {
+        for chunk in xs.chunks_mut(16) {
+            s.spawn(move || chunk.sort_by(|a, b| cmp_scores_desc(*a, *b)));
+        }
+    });
+}
+
+fn close_enough(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-12
+}

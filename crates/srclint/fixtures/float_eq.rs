@@ -1,0 +1,10 @@
+//! float_eq violations — exactly two, so the ratchet tests can pin the
+//! count (budget 2 passes, 1 is over-budget, 3 is stale).
+
+fn sum_is_unit(xs: &[f64]) -> bool {
+    xs.iter().sum::<f64>() == 1.0
+}
+
+fn mean_nonzero(total: f64, n: f64) -> bool {
+    total / n != 0.0
+}

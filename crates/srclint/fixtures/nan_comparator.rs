@@ -1,0 +1,11 @@
+//! One nan_unsafe_comparator violation of each contextual flavor.
+
+use std::cmp::Ordering;
+
+fn sort_desc(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| b.partial_cmp(a).expect("scores are finite"));
+}
+
+fn cmp_scores(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}

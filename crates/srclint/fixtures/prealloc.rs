@@ -1,0 +1,12 @@
+//! unguarded_prealloc violations: a tainted binding and an inline read.
+
+fn decode_tainted(r: &mut Reader) -> Vec<f32> {
+    let n = r.u32() as usize;
+    let mut out = Vec::new();
+    out.reserve(n);
+    out
+}
+
+fn decode_inline(r: &mut Reader) -> Vec<u8> {
+    Vec::with_capacity(r.u64() as usize)
+}

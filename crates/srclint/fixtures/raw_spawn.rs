@@ -1,0 +1,10 @@
+//! raw_spawn violations: detached threads outside thread::scope.
+
+fn detach() {
+    std::thread::spawn(|| loop {});
+}
+
+fn detach_imported() {
+    use std::thread;
+    thread::spawn(|| {});
+}

@@ -1,0 +1,25 @@
+//! Seeded-violation fixture for the CI negative self-check.
+//!
+//! This file is never compiled and never reached by the workspace walk
+//! (`fixtures/` is skipped at any depth); it exists to prove the gate
+//! still bites. Pointing srclint at it MUST exit non-zero — every lint
+//! that applies outside library targets fires at least once below.
+
+use std::cmp::Ordering;
+
+fn sort_scores(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // nan_unsafe_comparator
+}
+
+fn decode_lengths(r: &mut Reader) -> Vec<u64> {
+    let n = r.u64() as usize;
+    Vec::with_capacity(n) // unguarded_prealloc
+}
+
+fn detach_worker() {
+    std::thread::spawn(|| {}); // raw_spawn
+}
+
+fn is_positive_label(label: f64) -> bool {
+    label == 1.0 // float_eq
+}

@@ -1,0 +1,27 @@
+//! panic_in_lib violations. Lives under a `src/` segment so `classify`
+//! marks it as library code (the lint's scope); `#[cfg(test)]` code at
+//! the bottom must NOT be flagged.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn checked(xs: &[u32]) -> u32 {
+    *xs.first().expect("caller guarantees non-empty")
+}
+
+pub fn dispatch(tag: u8) -> &'static str {
+    match tag {
+        0 => "zero",
+        _ => panic!("unknown tag {tag}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,12 @@
+//! Well-formed suppressions: one standalone (covers the next code line)
+//! and one trailing (covers its own line). srclint must exit 0 with two
+//! findings suppressed.
+
+fn is_sentinel(x: f64) -> bool {
+    // srclint: allow(float_eq, reason = "sentinel is assigned, never computed")
+    x == -1.0
+}
+
+fn is_origin(x: f64) -> bool {
+    x == 0.0 // srclint: allow(float_eq, reason = "exact-zero tag set by the caller")
+}

@@ -1,0 +1,203 @@
+//! The ratchet baseline: tolerated debt, committed and only shrinking.
+//!
+//! `srclint.baseline.json` records, per `(file, lint)`, how many findings
+//! existed when the baseline was last written. A run fails when a key has
+//! **more** findings than its budget (new debt) *and* when it has fewer
+//! (the baseline is stale — re-run with `--update-baseline` to bank the
+//! improvement). Between those two rules the count can only go down.
+//!
+//! Keys are counts, not line numbers: unrelated edits shift lines
+//! constantly, and a line-keyed baseline would churn on every refactor.
+//! The cost is that *moving* a finding within a file is invisible — an
+//! accepted trade, since the budget still cannot grow.
+
+use crate::json::{self, Value};
+use crate::runner::Finding;
+use std::collections::BTreeMap;
+
+/// Baseline format version written and read.
+pub const VERSION: u64 = 1;
+
+/// Per-`(file, lint)` tolerated finding counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), u64>,
+}
+
+/// One ratchet violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RatchetBreak {
+    /// More findings than budgeted: the listed ones are over-budget.
+    New {
+        file: String,
+        lint: String,
+        budget: u64,
+        actual: u64,
+    },
+    /// Fewer findings than budgeted — bank the win with
+    /// `--update-baseline`.
+    Stale {
+        file: String,
+        lint: String,
+        budget: u64,
+        actual: u64,
+    },
+}
+
+/// Outcome of comparing a run's findings against the baseline.
+#[derive(Debug, Default)]
+pub struct RatchetReport {
+    /// Findings beyond a key's budget, in file/line order.
+    pub new: Vec<Finding>,
+    /// Every key that broke the ratchet (over or under budget).
+    pub breaks: Vec<RatchetBreak>,
+    /// Findings absorbed by the baseline.
+    pub baselined: usize,
+}
+
+impl Baseline {
+    /// An empty baseline: every finding is new. What `--no-baseline`
+    /// compares against.
+    pub fn empty() -> Self {
+        Baseline::default()
+    }
+
+    /// Builds the baseline that would make `findings` pass exactly.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        let mut entries: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for f in findings {
+            *entries
+                .entry((f.file.clone(), f.lint.to_string()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Budget for one `(file, lint)` key.
+    pub fn budget(&self, file: &str, lint: &str) -> u64 {
+        self.entries
+            .get(&(file.to_string(), lint.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total budgeted findings.
+    pub fn total(&self) -> u64 {
+        self.entries.values().sum()
+    }
+
+    /// Parses the committed JSON form.
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let doc = json::parse(src).map_err(|e| format!("baseline: {e}"))?;
+        let version = doc.get("version").and_then(Value::as_int);
+        if version != Some(VERSION) {
+            return Err(format!(
+                "baseline: unsupported version {version:?} (this build reads {VERSION})"
+            ));
+        }
+        let mut entries = BTreeMap::new();
+        for e in doc
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or("baseline: missing `entries` array")?
+        {
+            let file = e
+                .get("file")
+                .and_then(Value::as_str)
+                .ok_or("baseline entry: missing `file`")?;
+            let lint = e
+                .get("lint")
+                .and_then(Value::as_str)
+                .ok_or("baseline entry: missing `lint`")?;
+            let count = e
+                .get("count")
+                .and_then(Value::as_int)
+                .filter(|&c| c > 0)
+                .ok_or("baseline entry: `count` must be a positive integer")?;
+            if entries
+                .insert((file.to_string(), lint.to_string()), count)
+                .is_some()
+            {
+                return Err(format!("baseline: duplicate entry for {file} / {lint}"));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// The committed JSON form: sorted, one entry per line, stable under
+    /// re-serialization so baseline diffs read as ratchet history.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"version\": {VERSION},\n"));
+        out.push_str("  \"entries\": [");
+        for (i, ((file, lint), count)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"lint\": {}, \"count\": {count}}}",
+                json::escape(file),
+                json::escape(lint)
+            ));
+        }
+        if self.entries.is_empty() {
+            out.push_str("]\n}\n");
+        } else {
+            out.push_str("\n  ]\n}\n");
+        }
+        out
+    }
+
+    /// Ratchets `findings` (assumed sorted by file, then line) against
+    /// this baseline. Within a key, the first `budget` findings are
+    /// absorbed and the rest are new — deterministic because the runner
+    /// sorts findings by line.
+    pub fn compare(&self, findings: &[Finding]) -> RatchetReport {
+        let mut actual: BTreeMap<(String, String), Vec<&Finding>> = BTreeMap::new();
+        for f in findings {
+            actual
+                .entry((f.file.clone(), f.lint.to_string()))
+                .or_default()
+                .push(f);
+        }
+        let mut report = RatchetReport::default();
+        for ((file, lint), group) in &actual {
+            let budget = self.budget(file, lint);
+            let n = group.len() as u64;
+            if n > budget {
+                report.baselined += budget as usize;
+                report
+                    .new
+                    .extend(group[budget as usize..].iter().map(|f| (*f).clone()));
+                report.breaks.push(RatchetBreak::New {
+                    file: file.clone(),
+                    lint: lint.clone(),
+                    budget,
+                    actual: n,
+                });
+            } else {
+                report.baselined += n as usize;
+                if n < budget {
+                    report.breaks.push(RatchetBreak::Stale {
+                        file: file.clone(),
+                        lint: lint.clone(),
+                        budget,
+                        actual: n,
+                    });
+                }
+            }
+        }
+        // Baselined keys with no findings at all are stale too.
+        for ((file, lint), &budget) in &self.entries {
+            if !actual.contains_key(&(file.clone(), lint.clone())) {
+                report.breaks.push(RatchetBreak::Stale {
+                    file: file.clone(),
+                    lint: lint.clone(),
+                    budget,
+                    actual: 0,
+                });
+            }
+        }
+        report
+    }
+}

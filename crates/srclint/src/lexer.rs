@@ -1,0 +1,506 @@
+//! A small Rust lexer — just enough syntax to run token-stream lints
+//! safely.
+//!
+//! The point of lexing (instead of grepping) is *not* matching inside the
+//! wrong context: a `partial_cmp` in a doc comment, a `panic!` inside a
+//! string literal, or a `'a` lifetime mistaken for an unterminated char
+//! literal must never reach a lint. The lexer therefore handles, exactly:
+//!
+//! * line comments and **nested** block comments (`/* /* */ */`),
+//!   captured as trivia so the suppression layer can read
+//!   `// srclint: allow(..)` markers;
+//! * string literals with escapes, byte/C strings, and raw strings with
+//!   arbitrary `#` fencing (`r#"..."#`, `br##"..."##`);
+//! * char literals (including `'\''`, `'\\'`, `'\u{1F600}'`) versus
+//!   lifetimes (`'a`, `'static`) — the classic ambiguity;
+//! * raw identifiers (`r#match`), numbers (with float detection for the
+//!   `float_eq` lint), and maximal-munch operators (`==`, `::`, `..=`).
+//!
+//! It is *not* a parser: it produces a flat token stream with line
+//! numbers, and never fails — unexpected bytes come out as single-char
+//! punctuation, unterminated literals run to end of file. Lints are
+//! heuristics over this stream; the contract is "no false context", not
+//! "full grammar".
+
+/// What a token is, at the granularity the lints need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `sort_by`, `r#match` → `match`).
+    Ident,
+    /// A lifetime or loop label, `'a` / `'static` (text keeps the quote).
+    Lifetime,
+    /// Integer literal (any base, suffix included).
+    Int,
+    /// Float literal — has a `.`, a decimal exponent, or an `f32`/`f64`
+    /// suffix. The `float_eq` lint keys off this.
+    Float,
+    /// String-ish literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`. Content is
+    /// opaque (lints never look inside).
+    Str,
+    /// Char literal `'x'` (content opaque).
+    Char,
+    /// Operator or delimiter, maximal munch (`==`, `::`, `->`, `(`, …).
+    Punct,
+}
+
+/// One token: kind, verbatim text, and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A comment, kept out of the token stream but preserved for the
+/// suppression layer.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Verbatim text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when nothing but whitespace precedes it on its line — a
+    /// standalone comment (suppressions on standalone comments cover the
+    /// next code line; trailing ones cover their own).
+    pub own_line: bool,
+}
+
+/// The output of [`lex`]: code tokens plus comment trivia.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-char operators, longest first so maximal munch is a prefix scan.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Line that last produced a token or comment — drives `own_line`.
+    last_emit_line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied();
+        if let Some(b) = b {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        b
+    }
+
+    fn take_str(&mut self, from: usize) -> String {
+        String::from_utf8_lossy(&self.src[from..self.pos]).into_owned()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens and comments. Never fails; see the module docs
+/// for the error policy (garbage in, single-char `Punct` out).
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        last_emit_line: 0,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = c.peek(0) {
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            c.bump();
+            continue;
+        }
+
+        let start = c.pos;
+        let line = c.line;
+        let own_line = c.last_emit_line != line;
+
+        // Comments.
+        if c.starts_with("//") {
+            while let Some(b) = c.peek(0) {
+                if b == b'\n' {
+                    break;
+                }
+                c.bump();
+            }
+            out.comments.push(Comment {
+                text: c.take_str(start),
+                line,
+                own_line,
+            });
+            c.last_emit_line = c.line;
+            continue;
+        }
+        if c.starts_with("/*") {
+            c.bump();
+            c.bump();
+            let mut depth = 1usize;
+            while depth > 0 && c.peek(0).is_some() {
+                if c.starts_with("/*") {
+                    depth += 1;
+                    c.bump();
+                    c.bump();
+                } else if c.starts_with("*/") {
+                    depth -= 1;
+                    c.bump();
+                    c.bump();
+                } else {
+                    c.bump();
+                }
+            }
+            out.comments.push(Comment {
+                text: c.take_str(start),
+                line,
+                own_line,
+            });
+            c.last_emit_line = c.line;
+            continue;
+        }
+
+        c.last_emit_line = line;
+
+        // Raw strings / byte strings / C strings: r" r#" br" b" c" cr".
+        if let Some(tok) = lex_string_prefix(&mut c, line) {
+            out.toks.push(tok);
+            continue;
+        }
+
+        // Plain string literal.
+        if b == b'"' {
+            lex_quoted(&mut c, b'"');
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: c.take_str(start),
+                line,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if b == b'\'' {
+            out.toks.push(lex_quote(&mut c, line));
+            continue;
+        }
+
+        // Numbers.
+        if b.is_ascii_digit() {
+            out.toks.push(lex_number(&mut c, line));
+            continue;
+        }
+
+        // Identifiers (raw idents handled inside lex_string_prefix's
+        // fall-through: `r#ident` reaches here only via that path).
+        if is_ident_start(b) {
+            while c.peek(0).is_some_and(is_ident_continue) {
+                c.bump();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: c.take_str(start),
+                line,
+            });
+            continue;
+        }
+
+        // Operators, maximal munch.
+        if let Some(op) = OPERATORS.iter().find(|op| c.starts_with(op)) {
+            for _ in 0..op.len() {
+                c.bump();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Punct,
+                text: (*op).to_string(),
+                line,
+            });
+            continue;
+        }
+
+        // Everything else: one byte of punctuation.
+        c.bump();
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.take_str(start),
+            line,
+        });
+    }
+
+    out
+}
+
+/// Consumes a `"…"`-style body (opening quote still pending) honoring
+/// backslash escapes; unterminated runs to EOF.
+fn lex_quoted(c: &mut Cursor<'_>, close: u8) {
+    c.bump(); // opening quote
+    while let Some(b) = c.bump() {
+        if b == b'\\' {
+            c.bump();
+        } else if b == close {
+            break;
+        }
+    }
+}
+
+/// Consumes a raw string body `#*"…"#*` (prefix and `r` already consumed,
+/// `hashes` counted). No escapes; closes on `"` followed by `hashes` `#`s.
+fn lex_raw_body(c: &mut Cursor<'_>, hashes: usize) {
+    c.bump(); // opening quote
+    'scan: while let Some(b) = c.bump() {
+        if b == b'"' {
+            for i in 0..hashes {
+                if c.peek(i) != Some(b'#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                c.bump();
+            }
+            break;
+        }
+    }
+}
+
+/// Tries to lex a prefixed string (`r"`, `r#"`, `b"`, `br#"`, `c"`, …) or
+/// a raw identifier (`r#match`). Returns `None` when the cursor is not at
+/// one (plain idents fall through to the generic ident path).
+fn lex_string_prefix(c: &mut Cursor<'_>, line: u32) -> Option<Tok> {
+    let start = c.pos;
+    let b = c.peek(0)?;
+    if !matches!(b, b'r' | b'b' | b'c') {
+        return None;
+    }
+    // Longest prefixes first: br / cr, then r / b / c.
+    let prefix_len = if (c.starts_with("br") || c.starts_with("cr"))
+        && matches!(c.peek(2), Some(b'"') | Some(b'#'))
+    {
+        2
+    } else if matches!(c.peek(1), Some(b'"')) || (b == b'r' && c.peek(1) == Some(b'#')) {
+        1
+    } else {
+        return None;
+    };
+    let raw = c.peek(prefix_len - 1) == Some(b'r');
+
+    if !raw {
+        // b"…" / c"…": escaped string with a one-byte prefix.
+        for _ in 0..prefix_len {
+            c.bump();
+        }
+        lex_quoted(c, b'"');
+        return Some(Tok {
+            kind: TokKind::Str,
+            text: c.take_str(start),
+            line,
+        });
+    }
+
+    // r / br / cr: count the `#` fence, then expect `"`.
+    let mut hashes = 0usize;
+    while c.peek(prefix_len + hashes) == Some(b'#') {
+        hashes += 1;
+    }
+    if c.peek(prefix_len + hashes) == Some(b'"') {
+        for _ in 0..prefix_len + hashes {
+            c.bump();
+        }
+        lex_raw_body(c, hashes);
+        return Some(Tok {
+            kind: TokKind::Str,
+            text: c.take_str(start),
+            line,
+        });
+    }
+    // `r#ident`: raw identifier. Token text drops the `r#` so keyword
+    // checks compare against what the name resolves to.
+    if prefix_len == 1 && hashes == 1 && c.peek(2).is_some_and(is_ident_start) {
+        c.bump();
+        c.bump();
+        let ident_start = c.pos;
+        while c.peek(0).is_some_and(is_ident_continue) {
+            c.bump();
+        }
+        return Some(Tok {
+            kind: TokKind::Ident,
+            text: c.take_str(ident_start),
+            line,
+        });
+    }
+    None
+}
+
+/// At a `'`: char literal or lifetime. The ambiguity: `'a'` is a char,
+/// `'a` (no closing quote after one ident) is a lifetime, `'\''` is a
+/// char, `'static` is a lifetime.
+fn lex_quote(c: &mut Cursor<'_>, line: u32) -> Tok {
+    let start = c.pos;
+    c.bump(); // the quote
+    match c.peek(0) {
+        // Escape ⇒ definitely a char literal.
+        Some(b'\\') => {
+            c.bump();
+            if c.peek(0) == Some(b'u') {
+                c.bump();
+                if c.peek(0) == Some(b'{') {
+                    while let Some(b) = c.bump() {
+                        if b == b'}' {
+                            break;
+                        }
+                    }
+                }
+            } else {
+                c.bump(); // the escaped char (covers '\'' and '\\')
+            }
+            if c.peek(0) == Some(b'\'') {
+                c.bump();
+            }
+            Tok {
+                kind: TokKind::Char,
+                text: c.take_str(start),
+                line,
+            }
+        }
+        // Ident-shaped: lifetime unless a closing quote follows the run.
+        Some(b) if is_ident_start(b) => {
+            let mut len = 0usize;
+            while c.peek(len).is_some_and(is_ident_continue) {
+                len += 1;
+            }
+            let is_char = c.peek(len) == Some(b'\'');
+            for _ in 0..len {
+                c.bump();
+            }
+            if is_char {
+                c.bump(); // closing quote
+                Tok {
+                    kind: TokKind::Char,
+                    text: c.take_str(start),
+                    line,
+                }
+            } else {
+                Tok {
+                    kind: TokKind::Lifetime,
+                    text: c.take_str(start),
+                    line,
+                }
+            }
+        }
+        // Any other single char then a quote: char literal ('1', '{').
+        Some(_) if c.peek(1) == Some(b'\'') => {
+            c.bump();
+            c.bump();
+            Tok {
+                kind: TokKind::Char,
+                text: c.take_str(start),
+                line,
+            }
+        }
+        // Stray quote — emit as punctuation, keep going.
+        _ => Tok {
+            kind: TokKind::Punct,
+            text: c.take_str(start),
+            line,
+        },
+    }
+}
+
+fn lex_number(c: &mut Cursor<'_>, line: u32) -> Tok {
+    let start = c.pos;
+    let mut float = false;
+    if c.starts_with("0x") || c.starts_with("0o") || c.starts_with("0b") {
+        c.bump();
+        c.bump();
+        while c
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            c.bump();
+        }
+        return Tok {
+            kind: TokKind::Int,
+            text: c.take_str(start),
+            line,
+        };
+    }
+    while c.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+        c.bump();
+    }
+    // Fraction: a `.` followed by a digit (so `1..2` and `1.max(2)` stop).
+    if c.peek(0) == Some(b'.') && c.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+        float = true;
+        c.bump();
+        while c.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+            c.bump();
+        }
+    } else if c.peek(0) == Some(b'.') && !c.peek(1).is_some_and(is_ident_start) {
+        // Trailing-dot float `1.` (not a method call, not a range).
+        if c.peek(1) != Some(b'.') {
+            float = true;
+            c.bump();
+        }
+    }
+    // Exponent.
+    if matches!(c.peek(0), Some(b'e') | Some(b'E')) {
+        let sign = usize::from(matches!(c.peek(1), Some(b'+') | Some(b'-')));
+        if c.peek(1 + sign).is_some_and(|b| b.is_ascii_digit()) {
+            float = true;
+            c.bump();
+            if sign == 1 {
+                c.bump();
+            }
+            while c.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                c.bump();
+            }
+        }
+    }
+    // Suffix (`f64`, `u32`, …) — an `f` suffix makes it a float.
+    if c.peek(0).is_some_and(is_ident_start) {
+        if c.peek(0) == Some(b'f') {
+            float = true;
+        }
+        while c.peek(0).is_some_and(is_ident_continue) {
+            c.bump();
+        }
+    }
+    Tok {
+        kind: if float { TokKind::Float } else { TokKind::Int },
+        text: c.take_str(start),
+        line,
+    }
+}

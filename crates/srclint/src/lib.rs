@@ -1,0 +1,39 @@
+//! `srclint` — repo-specific static analysis with a ratcheted baseline.
+//!
+//! The workspace's incremental machinery (`C += L·ΔA·R`, touched-region
+//! refresh, snapshot decode) rests on invariants that the type system
+//! does not express and that convention has demonstrably failed to hold:
+//! the NaN-unsafe sort comparator was fixed twice (PR 2, PR 4) and
+//! reintroduced by later work anyway. This crate is the systematic
+//! answer — a hand-rolled, dependency-free source analyzer that lexes
+//! real Rust (comments, raw strings, char-vs-lifetime) and runs a small
+//! set of lints mined from this repo's own incident history:
+//!
+//! | lint | incident |
+//! |------|----------|
+//! | `nan_unsafe_comparator` | PR 2 / PR 4 NaN panic in score sorts |
+//! | `panic_in_lib`          | PR 6 repropagation panics → typed errors |
+//! | `unguarded_prealloc`    | PR 5 snapshot length-prefix OOM guard |
+//! | `raw_spawn`             | scoped-thread policy of every parallel path |
+//! | `float_eq`              | bitwise float comparison traps |
+//!
+//! Enforcement is **ratcheted** ([`baseline`]): pre-existing findings are
+//! tolerated via a committed `srclint.baseline.json`, any *new* finding
+//! fails, and fixing a finding requires banking the improvement (a stale
+//! baseline also fails) — the count only goes down. Intentional sites
+//! carry inline suppressions with mandatory reasons ([`suppress`]).
+//!
+//! See `docs/LINTS.md` for the lint catalogue and workflow; the `srclint`
+//! binary (`cargo run -p srclint`) is the CI entry point.
+
+pub mod baseline;
+pub mod json;
+pub mod lexer;
+pub mod lints;
+pub mod runner;
+pub mod suppress;
+pub mod walk;
+
+pub use baseline::{Baseline, RatchetBreak};
+pub use runner::{lint_source, load_baseline, run_files, Finding, Run};
+pub use walk::{classify, workspace_files, SourceFile};

@@ -1,0 +1,442 @@
+//! The lint set, grounded in this workspace's incident history.
+//!
+//! Every lint here exists because the repo shipped (or nearly shipped)
+//! the bug it catches — see `docs/LINTS.md` for the incident-by-incident
+//! catalogue. Lints run over the [`lexer`](crate::lexer) token stream
+//! with test regions (`#[cfg(test)]` mods, `#[test]` fns) stripped, so a
+//! finding always points at code that runs in production builds.
+//!
+//! These are heuristics, not type-checked analyses: each lint trades
+//! completeness for zero-dependency robustness, and each one's known
+//! blind spots are documented on the lint and in `docs/LINTS.md`. False
+//! positives are handled by inline suppressions with mandatory reasons
+//! ([`crate::suppress`]); pre-existing debt by the ratchet baseline
+//! ([`crate::baseline`]).
+
+use crate::lexer::{Tok, TokKind};
+
+/// A raw finding: a lint fired at a line. File attribution and snippet
+/// extraction happen in the runner, which owns the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFinding {
+    pub line: u32,
+    pub lint: &'static str,
+}
+
+/// Every lint name, in report order. The suppression parser validates
+/// `allow(..)` names against this list.
+pub const LINT_NAMES: &[&str] = &[
+    "nan_unsafe_comparator",
+    "panic_in_lib",
+    "unguarded_prealloc",
+    "raw_spawn",
+    "float_eq",
+];
+
+/// Runs every lint over one file's tokens. `lib` marks a library target
+/// (the only place `panic_in_lib` applies).
+pub fn run_all(toks: &[Tok], lib: bool) -> Vec<RawFinding> {
+    let toks = strip_test_regions(toks);
+    let mut out = Vec::new();
+    nan_unsafe_comparator(&toks, &mut out);
+    if lib {
+        panic_in_lib(&toks, &mut out);
+    }
+    unguarded_prealloc(&toks, &mut out);
+    raw_spawn(&toks, &mut out);
+    float_eq(&toks, &mut out);
+    out.sort_by_key(|f| (f.line, f.lint));
+    out.dedup();
+    out
+}
+
+// ---------------------------------------------------------------------
+// Test-region stripping
+// ---------------------------------------------------------------------
+
+/// Drops `#[test]` / `#[cfg(test)]`-gated items (attribute through the
+/// end of the item body) so lints only see code compiled into real
+/// builds. `#[cfg(not(test))]` and `#[cfg_attr(test, ..)]` items are
+/// *kept* — they are (sometimes) production code.
+fn strip_test_regions(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let close = close_delim(toks, i + 1);
+            if is_test_attr(&toks[i + 2..close]) {
+                i = skip_item_after_attrs(toks, close + 1);
+                continue;
+            }
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+fn is_test_attr(content: &[Tok]) -> bool {
+    // `#[cfg_attr(test, ..)]` conditions an attribute, not the item.
+    if content.first().is_some_and(|t| t.is_ident("cfg_attr")) {
+        return false;
+    }
+    for (k, t) in content.iter().enumerate() {
+        if t.is_ident("test") {
+            // `not(test)` means the item is the production half.
+            let negated = k >= 2 && content[k - 1].is_punct("(") && content[k - 2].is_ident("not");
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// From just after an attribute, skips any further attributes and then
+/// one item: through its balanced `{..}` body, or to the `;` that ends a
+/// body-less item. Returns the index after the item.
+fn skip_item_after_attrs(toks: &[Tok], mut i: usize) -> usize {
+    while i < toks.len()
+        && toks[i].is_punct("#")
+        && toks.get(i + 1).is_some_and(|t| t.is_punct("["))
+    {
+        i = close_delim(toks, i + 1) + 1;
+    }
+    let mut depth = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "{" if depth == 0 => return close_delim(toks, i) + 1,
+                ";" if depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Index of the delimiter closing the one opening at `open` (`(`/`[`/`{`),
+/// counting only same-type delimiters (sound for balanced code, which is
+/// all that compiles). Clamps to end of stream on unbalanced input.
+fn close_delim(toks: &[Tok], open: usize) -> usize {
+    let (o, c) = match toks[open].text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        _ => ("{", "}"),
+    };
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == o {
+                depth += 1;
+            } else if t.text == c {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+// ---------------------------------------------------------------------
+// nan_unsafe_comparator
+// ---------------------------------------------------------------------
+
+/// Methods whose closure argument is an ordering comparator.
+const COMPARATOR_METHODS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "binary_search_by",
+    "max_by",
+    "min_by",
+    "select_nth_unstable_by",
+];
+
+/// `partial_cmp(..)` + `expect`/`unwrap`/`unwrap_or` inside a comparator:
+/// `expect`/`unwrap` panic on the first NaN (the PR 2 and PR 4 incident),
+/// and `unwrap_or(Equal)` silently breaks the total order `sort_by`
+/// requires. Comparator context = the argument of a `sort_by`-style call,
+/// or the body of a `fn` whose return type mentions `Ordering`. The fix
+/// idiom is the NaN-last `total_cmp` match (`activeiter`'s
+/// `cmp_scores_desc`).
+fn nan_unsafe_comparator(toks: &[Tok], out: &mut Vec<RawFinding>) {
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && COMPARATOR_METHODS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            regions.push((i + 1, close_delim(toks, i + 1)));
+        }
+        if t.is_ident("fn") {
+            if let Some((body_open, returns_ordering)) = fn_signature(toks, i) {
+                if returns_ordering {
+                    regions.push((body_open, close_delim(toks, body_open)));
+                }
+            }
+        }
+        i += 1;
+    }
+    for (lo, hi) in regions {
+        let mut j = lo;
+        while j < hi {
+            if toks[j].is_ident("partial_cmp")
+                && j > 0
+                && toks[j - 1].is_punct(".")
+                && toks.get(j + 1).is_some_and(|n| n.is_punct("("))
+            {
+                let close = close_delim(toks, j + 1);
+                let chained = toks.get(close + 1).is_some_and(|n| n.is_punct("."))
+                    && toks.get(close + 2).is_some_and(|n| {
+                        n.is_ident("expect") || n.is_ident("unwrap") || n.is_ident("unwrap_or")
+                    });
+                if chained {
+                    out.push(RawFinding {
+                        line: toks[j].line,
+                        lint: "nan_unsafe_comparator",
+                    });
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// From a `fn` token: finds the body `{` (or `;` for body-less items) and
+/// whether the return type mentions `Ordering`. Angle brackets are not
+/// tracked; parens/brackets are, which is enough to find the depth-0 body.
+fn fn_signature(toks: &[Tok], fn_idx: usize) -> Option<(usize, bool)> {
+    let mut depth = 0usize;
+    let mut arrow: Option<usize> = None;
+    let mut i = fn_idx + 1;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "->" if depth == 0 => arrow = Some(i),
+                ";" if depth == 0 => return None,
+                "{" if depth == 0 => {
+                    let returns_ordering =
+                        arrow.is_some_and(|a| toks[a..i].iter().any(|t| t.is_ident("Ordering")));
+                    return Some((i, returns_ordering));
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// panic_in_lib
+// ---------------------------------------------------------------------
+
+/// `.unwrap()` / `.expect(..)` / `panic!` / `unreachable!` / `todo!` /
+/// `unimplemented!` in library code — the class PR 6 converted to typed
+/// `DeltaError`s after repropagation panics could take down a serving
+/// worker. `unwrap_or*` variants are fine (they don't panic); `assert!`
+/// family is deliberately out of scope (invariant checks are policy
+/// here, tracked separately in docs/LINTS.md).
+fn panic_in_lib(toks: &[Tok], out: &mut Vec<RawFinding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let method_panic = (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        let macro_panic = matches!(
+            t.text.as_str(),
+            "panic" | "unreachable" | "todo" | "unimplemented"
+        ) && toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
+        if method_panic || macro_panic {
+            out.push(RawFinding {
+                line: t.line,
+                lint: "panic_in_lib",
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// unguarded_prealloc
+// ---------------------------------------------------------------------
+
+/// Raw little-endian scalar reads on a `Reader` — a length obtained this
+/// way is attacker-controlled until checked.
+const RAW_READS: &[&str] = &["u8", "u32", "u64", "usize", "f64"];
+
+/// Calls that bound a decoded length before it reaches an allocator:
+/// `seq_len` (the PR 5 guard — rejects prefixes the remaining input
+/// cannot satisfy), or an explicit `min`/`clamp`.
+const LENGTH_GUARDS: &[&str] = &["seq_len", "min", "clamp"];
+
+/// `with_capacity(..)`/`reserve(..)` fed by a value that came off a
+/// `Reader` scalar read with no length guard — the "1 TB length prefix"
+/// OOM the PR 5 snapshot hardening closed with `Reader::seq_len`.
+/// Per-function taint: a `let` whose initializer contains a raw read and
+/// no guard taints its binding; preallocating with a tainted binding (or
+/// with an inline raw read) is a finding.
+fn unguarded_prealloc(toks: &[Tok], out: &mut Vec<RawFinding>) {
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") {
+            if let Some((body_open, _)) = fn_signature(toks, i) {
+                let body_close = close_delim(toks, body_open);
+                check_prealloc_region(&toks[body_open..=body_close], out);
+                i = body_close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+fn has_raw_read(toks: &[Tok]) -> bool {
+    toks.windows(4).any(|w| {
+        w[0].is_punct(".")
+            && w[1].kind == TokKind::Ident
+            && RAW_READS.contains(&w[1].text.as_str())
+            && w[2].is_punct("(")
+            && w[3].is_punct(")")
+    })
+}
+
+fn has_guard(toks: &[Tok]) -> bool {
+    toks.iter()
+        .any(|t| t.kind == TokKind::Ident && LENGTH_GUARDS.contains(&t.text.as_str()))
+}
+
+fn check_prealloc_region(body: &[Tok], out: &mut Vec<RawFinding>) {
+    // Pass 1: taint `let` bindings initialized from unguarded raw reads.
+    let mut tainted: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if body[i].is_ident("let") {
+            let mut j = i + 1;
+            if body.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name) = body.get(j).filter(|t| t.kind == TokKind::Ident) {
+                // Initializer: from `=` to the `;` at the let's depth.
+                if let Some(eq) = scan_to(body, j, "=") {
+                    let end = scan_to(body, eq, ";").unwrap_or(body.len() - 1);
+                    let init = &body[eq..end];
+                    if has_raw_read(init) && !has_guard(init) {
+                        tainted.push(&name.text);
+                    }
+                    i = end;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    // Pass 2: preallocations fed by taint or by an inline raw read.
+    for (k, t) in body.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && (t.text == "with_capacity" || t.text == "reserve")
+            && body.get(k + 1).is_some_and(|n| n.is_punct("("))
+        {
+            let close = close_delim(body, k + 1);
+            let args = &body[k + 1..close];
+            let uses_taint = args
+                .iter()
+                .any(|a| a.kind == TokKind::Ident && tainted.contains(&a.text.as_str()));
+            let inline_raw = has_raw_read(args) && !has_guard(args);
+            if uses_taint || inline_raw {
+                out.push(RawFinding {
+                    line: t.line,
+                    lint: "unguarded_prealloc",
+                });
+            }
+        }
+    }
+}
+
+/// First depth-0 occurrence of punct `p` at or after `from`; delimiters
+/// of all three kinds nest.
+fn scan_to(toks: &[Tok], from: usize, p: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(from) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                s if s == p && depth == 0 => return Some(i),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// raw_spawn
+// ---------------------------------------------------------------------
+
+/// `thread::spawn` outside `thread::scope` — unscoped threads outlive
+/// the data they borrow (forcing `'static` + `Arc` contortions) and
+/// escape the panic containment the pooled runners provide. Scope-handle
+/// spawns (`scope.spawn(..)`) are method calls and never match the
+/// `thread :: spawn` path pattern.
+fn raw_spawn(toks: &[Tok], out: &mut Vec<RawFinding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("spawn")
+            && i >= 2
+            && toks[i - 1].is_punct("::")
+            && toks[i - 2].is_ident("thread")
+        {
+            out.push(RawFinding {
+                line: t.line,
+                lint: "raw_spawn",
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// float_eq
+// ---------------------------------------------------------------------
+
+/// `==`/`!=` with a float operand. Bitwise float comparison is almost
+/// never the intent (rounding makes it flaky; NaN != NaN makes it a
+/// trap). Heuristic: one operand side adjacent to the operator is a
+/// float literal or an `as f32`/`as f64` cast — comparisons between two
+/// float *variables* are invisible to a lexer and out of scope
+/// (documented in docs/LINTS.md).
+fn float_eq(toks: &[Tok], out: &mut Vec<RawFinding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let float_tok =
+            |t: &Tok| t.kind == TokKind::Float || t.is_ident("f32") || t.is_ident("f64");
+        let lhs = i
+            .checked_sub(1)
+            .and_then(|p| toks.get(p))
+            .is_some_and(float_tok);
+        // On the right, look through a unary minus: `x == -1.0`.
+        let rhs = toks.get(i + 1).is_some_and(|n| {
+            float_tok(n) || (n.is_punct("-") && toks.get(i + 2).is_some_and(float_tok))
+        });
+        if lhs || rhs {
+            out.push(RawFinding {
+                line: t.line,
+                lint: "float_eq",
+            });
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The `srclint` binary — the CI gate.
+//!
+//! ```text
+//! srclint [--root <dir>] [--baseline <path>] [--no-baseline]
+//!         [--update-baseline] [--format text|json] [--out <path>]
+//!         [FILE...]
+//! ```
+//!
+//! With no `FILE` arguments the whole workspace is linted (see
+//! [`srclint::walk`] for what that covers); explicit files are linted
+//! as-is, which is how the CI self-check points at the seeded-violation
+//! fixture. Exit codes: `0` clean (everything baselined), `1` ratchet or
+//! suppression violations, `2` usage / I/O errors.
+
+use srclint::baseline::RatchetBreak;
+use srclint::{classify, load_baseline, run_files, workspace_files, Baseline, Run};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    update_baseline: bool,
+    json: bool,
+    out: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        baseline: None,
+        no_baseline: false,
+        update_baseline: false,
+        json: false,
+        out: None,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => opts.root = args.next().ok_or("--root needs a value")?.into(),
+            "--baseline" => {
+                opts.baseline = Some(args.next().ok_or("--baseline needs a value")?.into())
+            }
+            "--no-baseline" => opts.no_baseline = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                other => return Err(format!("--format: expected text|json, got {other:?}")),
+            },
+            "--out" => opts.out = Some(args.next().ok_or("--out needs a value")?.into()),
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                std::process::exit(0);
+            }
+            f if !f.starts_with('-') => opts.files.push(f.into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+const HELP: &str = "srclint — repo-specific static analysis with a ratcheted baseline
+
+USAGE: srclint [OPTIONS] [FILE...]
+
+OPTIONS:
+  --root <dir>        workspace root (default .)
+  --baseline <path>   ratchet baseline (default <root>/srclint.baseline.json)
+  --no-baseline       compare against an empty baseline (every finding fails)
+  --update-baseline   rewrite the baseline to match the current findings
+  --format text|json  report format (default text)
+  --out <path>        additionally write the JSON report to <path>
+  FILE...             lint only these files (skips the workspace walk)
+
+Docs: docs/LINTS.md — lint catalogue, suppression syntax, ratchet workflow.";
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("srclint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let files = if opts.files.is_empty() {
+        match workspace_files(&opts.root) {
+            Ok(fs) => fs,
+            Err(e) => {
+                eprintln!("srclint: walking {}: {e}", opts.root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        opts.files.iter().map(|f| classify(&opts.root, f)).collect()
+    };
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join("srclint.baseline.json"));
+    let baseline = if opts.no_baseline {
+        Baseline::empty()
+    } else {
+        match load_baseline(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("srclint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let run = match run_files(&files, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("srclint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.update_baseline {
+        let fresh = Baseline::from_findings(&run.findings);
+        if let Err(e) = std::fs::write(&baseline_path, fresh.to_json()) {
+            eprintln!("srclint: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "srclint: baseline rewritten ({} findings across {} files) → {}",
+            run.findings.len(),
+            run.files,
+            baseline_path.display()
+        );
+        // A fresh baseline makes the findings pass by construction; only
+        // suppression errors can still fail the run.
+        return if run.errors.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            report_errors(&run);
+            ExitCode::from(1)
+        };
+    }
+
+    if let Some(out) = &opts.out {
+        if let Err(e) = std::fs::write(out, run.to_json()) {
+            eprintln!("srclint: writing {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if opts.json {
+        print!("{}", run.to_json());
+    } else {
+        report_text(&run);
+    }
+
+    if run.failed() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn report_errors(run: &Run) {
+    for e in &run.errors {
+        eprintln!("{}:{}: [suppression] {}", e.file, e.line, e.msg);
+    }
+}
+
+fn report_text(run: &Run) {
+    use std::collections::HashSet;
+    let new: HashSet<(&str, u32, &str)> = run
+        .ratchet
+        .new
+        .iter()
+        .map(|f| (f.file.as_str(), f.line, f.lint))
+        .collect();
+    for f in &run.findings {
+        let tag = if new.contains(&(f.file.as_str(), f.line, f.lint)) {
+            "NEW "
+        } else {
+            "base"
+        };
+        println!("{}:{}: [{}] {}  {}", f.file, f.line, f.lint, tag, f.snippet);
+    }
+    report_errors(run);
+    for b in &run.ratchet.breaks {
+        match b {
+            RatchetBreak::New {
+                file,
+                lint,
+                budget,
+                actual,
+            } => eprintln!(
+                "ratchet: {file} / {lint}: {actual} findings exceed the baselined {budget} — \
+                 fix them or add a reasoned `srclint: allow(..)`"
+            ),
+            RatchetBreak::Stale {
+                file,
+                lint,
+                budget,
+                actual,
+            } => eprintln!(
+                "ratchet: {file} / {lint}: baseline is stale ({budget} baselined, {actual} \
+                 remain) — bank the improvement with --update-baseline"
+            ),
+        }
+    }
+    for u in &run.unused {
+        eprintln!(
+            "warning: {}:{}: unused suppression for {} (finding fixed? remove the marker)",
+            u.file, u.line, u.lint
+        );
+    }
+    println!(
+        "srclint: {} files, {} findings ({} baselined, {} new, {} suppressed), {} error(s) — {}",
+        run.files,
+        run.findings.len(),
+        run.ratchet.baselined,
+        run.ratchet.new.len(),
+        run.suppressed,
+        run.errors.len(),
+        if run.failed() { "FAIL" } else { "ok" }
+    );
+}

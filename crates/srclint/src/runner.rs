@@ -1,0 +1,300 @@
+//! The run pipeline: walk → lex → lint → suppress → ratchet → report.
+//!
+//! This is the library entry point the binary (and the test suite) drive.
+//! A [`Run`] carries everything a caller needs: the surviving findings
+//! (with snippets), which of them the baseline absorbed, ratchet breaks,
+//! suppression diagnostics, and the one-line verdict [`Run::failed`].
+
+use crate::baseline::{Baseline, RatchetBreak, RatchetReport};
+use crate::lexer;
+use crate::lints;
+use crate::suppress;
+use crate::walk::SourceFile;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A finding with file attribution and its source snippet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative, `/`-separated path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub lint: &'static str,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// A hard diagnostic (malformed suppression) — never baselineable.
+#[derive(Debug, Clone)]
+pub struct HardError {
+    pub file: String,
+    pub line: u32,
+    pub msg: String,
+}
+
+/// A suppression that silenced nothing — reported, not fatal.
+#[derive(Debug, Clone)]
+pub struct UnusedSuppression {
+    pub file: String,
+    pub line: u32,
+    pub lint: String,
+}
+
+/// Everything one invocation produced.
+#[derive(Debug, Default)]
+pub struct Run {
+    /// Surviving (non-suppressed) findings, sorted by file then line.
+    pub findings: Vec<Finding>,
+    /// Ratchet outcome against the effective baseline.
+    pub ratchet: RatchetReport,
+    /// Findings silenced by a reasoned suppression.
+    pub suppressed: usize,
+    /// Malformed `srclint:` markers — always fail the run.
+    pub errors: Vec<HardError>,
+    /// Suppressions that matched no finding.
+    pub unused: Vec<UnusedSuppression>,
+    /// Files scanned.
+    pub files: usize,
+}
+
+impl Run {
+    /// True when the run must exit non-zero: new findings, a stale
+    /// baseline, or a malformed suppression.
+    pub fn failed(&self) -> bool {
+        !self.ratchet.breaks.is_empty() || !self.errors.is_empty()
+    }
+
+    /// The machine-readable findings document (`--format json`).
+    pub fn to_json(&self) -> String {
+        use crate::json::escape;
+        let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+        let new: std::collections::HashSet<(&str, u32, &str)> = self
+            .ratchet
+            .new
+            .iter()
+            .map(|f| (f.file.as_str(), f.line, f.lint))
+            .collect();
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let baselined = !new.contains(&(f.file.as_str(), f.line, f.lint));
+            let _ = write!(
+                out,
+                "\n    {{\"file\": {}, \"line\": {}, \"lint\": {}, \"snippet\": {}, \
+                 \"baselined\": {}}}",
+                escape(&f.file),
+                f.line,
+                escape(f.lint),
+                escape(&f.snippet),
+                baselined
+            );
+        }
+        out.push_str(if self.findings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"breaks\": [");
+        for (i, b) in self.ratchet.breaks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (kind, file, lint, budget, actual) = match b {
+                RatchetBreak::New {
+                    file,
+                    lint,
+                    budget,
+                    actual,
+                } => ("new", file, lint, budget, actual),
+                RatchetBreak::Stale {
+                    file,
+                    lint,
+                    budget,
+                    actual,
+                } => ("stale", file, lint, budget, actual),
+            };
+            let _ = write!(
+                out,
+                "\n    {{\"kind\": {}, \"file\": {}, \"lint\": {}, \"budget\": {budget}, \
+                 \"actual\": {actual}}}",
+                escape(kind),
+                escape(file),
+                escape(lint)
+            );
+        }
+        out.push_str(if self.ratchet.breaks.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"errors\": [");
+        for (i, e) in self.errors.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"file\": {}, \"line\": {}, \"msg\": {}}}",
+                escape(&e.file),
+                e.line,
+                escape(&e.msg)
+            );
+        }
+        out.push_str(if self.errors.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        let _ = write!(
+            out,
+            "  \"summary\": {{\"files\": {}, \"total\": {}, \"baselined\": {}, \"new\": {}, \
+             \"suppressed\": {}, \"stale\": {}, \"errors\": {}}}\n}}\n",
+            self.files,
+            self.findings.len(),
+            self.ratchet.baselined,
+            self.ratchet.new.len(),
+            self.suppressed,
+            self.ratchet
+                .breaks
+                .iter()
+                .filter(|b| matches!(b, RatchetBreak::Stale { .. }))
+                .count(),
+            self.errors.len()
+        );
+        out
+    }
+}
+
+/// Lints one already-loaded source file; returns surviving findings plus
+/// suppression diagnostics. Exposed for the test suite.
+pub fn lint_source(
+    file: &SourceFile,
+    src: &str,
+) -> (Vec<Finding>, Vec<HardError>, Vec<UnusedSuppression>, usize) {
+    let lexed = lexer::lex(src);
+    let raw = lints::run_all(&lexed.toks, file.lib);
+    let (sups, bad) = suppress::parse_comments(&lexed.comments);
+
+    // Resolve each suppression to the line it covers: its own line for a
+    // trailing comment, the next line bearing any code token for a
+    // standalone one.
+    let covered: Vec<(u32, &suppress::Suppression)> = sups
+        .iter()
+        .map(|s| {
+            let target = if s.own_line {
+                lexed
+                    .toks
+                    .iter()
+                    .map(|t| t.line)
+                    .find(|&l| l > s.line)
+                    .unwrap_or(s.line)
+            } else {
+                s.line
+            };
+            (target, s)
+        })
+        .collect();
+
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: u32| {
+        lines
+            .get(line as usize - 1)
+            .map(|l| {
+                let t = l.trim();
+                if t.len() > 160 {
+                    format!(
+                        "{}…",
+                        &t[..t
+                            .char_indices()
+                            .take(159)
+                            .last()
+                            .map_or(0, |(i, c)| i + c.len_utf8())]
+                    )
+                } else {
+                    t.to_string()
+                }
+            })
+            .unwrap_or_default()
+    };
+
+    let mut used = vec![false; covered.len()];
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for f in raw {
+        let hit = covered
+            .iter()
+            .position(|(target, s)| *target == f.line && s.lint == f.lint);
+        if let Some(k) = hit {
+            used[k] = true;
+            suppressed += 1;
+        } else {
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: f.line,
+                lint: f.lint,
+                snippet: snippet(f.line),
+            });
+        }
+    }
+
+    let errors = bad
+        .into_iter()
+        .map(|b| HardError {
+            file: file.rel.clone(),
+            line: b.line,
+            msg: b.msg,
+        })
+        .collect();
+    let unused = covered
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|((_, s), _)| UnusedSuppression {
+            file: file.rel.clone(),
+            line: s.line,
+            lint: s.lint.clone(),
+        })
+        .collect();
+    (findings, errors, unused, suppressed)
+}
+
+/// Lints `files` and ratchets the result against `baseline`.
+pub fn run_files(files: &[SourceFile], baseline: &Baseline) -> std::io::Result<Run> {
+    let mut run = Run {
+        files: files.len(),
+        ..Run::default()
+    };
+    for file in files {
+        let src = std::fs::read_to_string(&file.abs)?;
+        let (findings, errors, unused, suppressed) = lint_source(file, &src);
+        run.findings.extend(findings);
+        run.errors.extend(errors);
+        run.unused.extend(unused);
+        run.suppressed += suppressed;
+    }
+    run.findings
+        .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    run.ratchet = baseline.compare(&run.findings);
+    run.ratchet.breaks.sort_by_key(break_key);
+    Ok(run)
+}
+
+fn break_key(b: &RatchetBreak) -> (String, String) {
+    match b {
+        RatchetBreak::New { file, lint, .. } | RatchetBreak::Stale { file, lint, .. } => {
+            (file.clone(), lint.clone())
+        }
+    }
+}
+
+/// Loads the baseline at `path`; a missing file is an empty baseline
+/// (every finding is then new — the strict mode fixtures rely on this).
+pub fn load_baseline(path: &Path) -> Result<Baseline, String> {
+    match std::fs::read_to_string(path) {
+        Ok(src) => Baseline::parse(&src),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::empty()),
+        Err(e) => Err(format!("baseline {}: {e}", path.display())),
+    }
+}

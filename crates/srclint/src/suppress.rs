@@ -1,0 +1,167 @@
+//! Inline suppressions: `// srclint: allow(<lint>, reason = "...")`.
+//!
+//! A suppression silences one lint on one line — its own line for a
+//! trailing comment, the next code line for a standalone one — and the
+//! reason is **mandatory**: an `allow` without a reason (or naming an
+//! unknown lint) is itself a hard error, so the suppression audit trail
+//! can never rot into bare switch-offs. Suppressions that match no
+//! finding are reported as warnings (they usually mean the code was
+//! fixed and the marker forgotten).
+
+use crate::lexer::Comment;
+use crate::lints::LINT_NAMES;
+
+/// A parsed, well-formed suppression.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// True when the comment stands alone (covers the next code line).
+    pub own_line: bool,
+    /// The lint it silences.
+    pub lint: String,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// A `srclint:` marker that failed to parse — always a hard error.
+#[derive(Debug, Clone)]
+pub struct BadSuppression {
+    pub line: u32,
+    pub msg: String,
+}
+
+/// Scans comment trivia for `srclint:` markers.
+pub fn parse_comments(comments: &[Comment]) -> (Vec<Suppression>, Vec<BadSuppression>) {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        // The marker must open the comment (`// srclint: ...`), so prose
+        // that merely *mentions* the syntax — docs, this file — is inert.
+        let content = c.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = content.strip_prefix("srclint:") else {
+            continue;
+        };
+        match parse_marker(rest.trim()) {
+            Ok((lint, reason)) => ok.push(Suppression {
+                line: c.line,
+                own_line: c.own_line,
+                lint,
+                reason,
+            }),
+            Err(msg) => bad.push(BadSuppression { line: c.line, msg }),
+        }
+    }
+    (ok, bad)
+}
+
+/// Parses `allow(<lint>, reason = "<text>")` after the `srclint:` marker.
+fn parse_marker(rest: &str) -> Result<(String, String), String> {
+    let rest = rest
+        .strip_prefix("allow(")
+        .ok_or_else(|| "expected `allow(<lint>, reason = \"...\")`".to_string())?;
+    let name_end = rest
+        .find(|c: char| !(c.is_ascii_lowercase() || c == '_'))
+        .unwrap_or(rest.len());
+    let lint = &rest[..name_end];
+    if !LINT_NAMES.contains(&lint) {
+        return Err(format!(
+            "unknown lint `{lint}` (known: {})",
+            LINT_NAMES.join(", ")
+        ));
+    }
+    let rest = rest[name_end..].trim_start();
+    let Some(rest) = rest.strip_prefix(',') else {
+        return Err(format!(
+            "suppression of `{lint}` is missing its mandatory reason"
+        ));
+    };
+    let rest = rest
+        .trim_start()
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim_start)
+        .ok_or_else(|| "expected `reason = \"...\"`".to_string())?;
+    let rest = rest
+        .strip_prefix('"')
+        .ok_or_else(|| "reason must be a quoted string".to_string())?;
+    let end = rest
+        .find('"')
+        .ok_or_else(|| "unterminated reason string".to_string())?;
+    let reason = &rest[..end];
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".to_string());
+    }
+    if !rest[end + 1..].trim_start().starts_with(')') {
+        return Err("expected `)` after the reason".to_string());
+    }
+    Ok((lint.to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(text: &str, own_line: bool) -> Comment {
+        Comment {
+            text: text.to_string(),
+            line: 7,
+            own_line,
+        }
+    }
+
+    #[test]
+    fn well_formed_trailing_and_standalone() {
+        let (ok, bad) = parse_comments(&[
+            comment(
+                "// srclint: allow(float_eq, reason = \"exact sentinel\")",
+                false,
+            ),
+            comment(
+                "// srclint: allow(panic_in_lib, reason = \"startup only\")",
+                true,
+            ),
+        ]);
+        assert!(bad.is_empty());
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok[0].lint, "float_eq");
+        assert_eq!(ok[0].reason, "exact sentinel");
+        assert!(!ok[0].own_line);
+        assert!(ok[1].own_line);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let (ok, bad) = parse_comments(&[comment("// srclint: allow(float_eq)", false)]);
+        assert!(ok.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].msg.contains("mandatory reason"), "{}", bad[0].msg);
+    }
+
+    #[test]
+    fn empty_reason_is_an_error() {
+        let (_, bad) = parse_comments(&[comment(
+            "// srclint: allow(float_eq, reason = \"  \")",
+            false,
+        )]);
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn unknown_lint_is_an_error() {
+        let (_, bad) =
+            parse_comments(&[comment("// srclint: allow(no_such, reason = \"x\")", false)]);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].msg.contains("unknown lint"));
+    }
+
+    #[test]
+    fn unrelated_comments_pass_through() {
+        let (ok, bad) = parse_comments(&[comment("// just a note about srclint the tool", false)]);
+        assert!(ok.is_empty());
+        // Mentions "srclint" but has no `srclint:` marker? It does not —
+        // the marker requires the colon.
+        assert!(bad.is_empty());
+    }
+}

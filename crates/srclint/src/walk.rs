@@ -1,0 +1,95 @@
+//! Workspace file discovery: every non-vendor, non-test Rust source.
+//!
+//! The walk starts at the workspace root and skips, at any depth:
+//! `vendor/` (offline stand-ins, not this repo's code), `target/`,
+//! `.git/`, `tests/` and `benches/` (test code — `#[cfg(test)]` regions
+//! inside lib files are stripped separately by the lint layer), and
+//! `fixtures/` (srclint's own seeded-violation corpus, which *must not*
+//! lint clean). Files come back sorted so runs are deterministic.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One source file scheduled for linting.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated — the identity
+    /// used in findings and the baseline.
+    pub rel: String,
+    /// Absolute path for reading.
+    pub abs: PathBuf,
+    /// True for library-target code (under a `src/`, not `src/bin/`, not
+    /// `main.rs`, not an example) — the scope of `panic_in_lib`.
+    pub lib: bool,
+}
+
+const SKIP_DIRS: &[&str] = &["vendor", "target", "tests", "benches", "fixtures", ".git"];
+
+/// Collects the workspace's lintable sources under `root`, sorted by
+/// relative path.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+/// Classifies one explicitly named file the way the walk would (used for
+/// single-file runs and the CI fixture self-check, which points at paths
+/// the walk deliberately skips).
+pub fn classify(root: &Path, abs: &Path) -> SourceFile {
+    let rel = abs
+        .strip_prefix(root)
+        .unwrap_or(abs)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/");
+    SourceFile {
+        lib: is_lib(&rel),
+        rel,
+        abs: abs.to_path_buf(),
+    }
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                walk(root, &path, out)?;
+            }
+        } else if ty.is_file() && name.ends_with(".rs") {
+            out.push(classify(root, &path));
+        }
+    }
+    Ok(())
+}
+
+fn is_lib(rel: &str) -> bool {
+    let in_src = rel.starts_with("src/") || rel.contains("/src/");
+    in_src
+        && !rel.contains("/bin/")
+        && !rel.ends_with("/main.rs")
+        && rel != "main.rs"
+        && !rel.starts_with("examples/")
+        && !rel.contains("/examples/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::is_lib;
+
+    #[test]
+    fn lib_classification() {
+        assert!(is_lib("src/lib.rs"));
+        assert!(is_lib("crates/session/src/pool.rs"));
+        assert!(!is_lib("crates/srclint/src/main.rs"));
+        assert!(!is_lib("crates/bench/src/bin/table4.rs"));
+        assert!(!is_lib("examples/quickstart.rs"));
+        assert!(!is_lib("crates/foo/examples/demo.rs"));
+    }
+}

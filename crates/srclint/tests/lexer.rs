@@ -1,0 +1,199 @@
+//! Lexer edge cases: the contexts that must never leak tokens into the
+//! lints (comments, strings) and the classic ambiguities (lifetime vs
+//! char literal, float vs int, raw strings vs comments).
+
+use srclint::lexer::{lex, TokKind};
+
+fn kinds(src: &str) -> Vec<(TokKind, String)> {
+    lex(src)
+        .toks
+        .into_iter()
+        .map(|t| (t.kind, t.text))
+        .collect()
+}
+
+fn texts(src: &str) -> Vec<String> {
+    lex(src).toks.into_iter().map(|t| t.text).collect()
+}
+
+#[test]
+fn nested_block_comments_are_one_comment() {
+    let out = lex("/* outer /* inner */ still comment */ fn x() {}");
+    assert_eq!(out.comments.len(), 1);
+    assert!(out.comments[0].text.contains("inner"));
+    assert!(
+        out.toks[0].is_ident("fn"),
+        "code after the comment survives"
+    );
+}
+
+#[test]
+fn line_comment_runs_to_eol_only() {
+    let out = lex("let a = 1; // panic!(\"not code\")\nlet b = 2;");
+    assert_eq!(out.comments.len(), 1);
+    assert!(!out.toks.iter().any(|t| t.is_ident("panic")));
+    assert!(out.toks.iter().any(|t| t.is_ident("b")));
+}
+
+#[test]
+fn trailing_vs_standalone_comments() {
+    let out = lex("let a = 1; // trailing\n  // standalone\nlet b = 2;");
+    assert_eq!(out.comments.len(), 2);
+    assert!(!out.comments[0].own_line, "code precedes it on the line");
+    assert!(out.comments[1].own_line);
+}
+
+#[test]
+fn raw_strings_swallow_quotes_and_comment_markers() {
+    let out = lex(r##"let s = r#"say "hi" // not a comment"#; let t = 1;"##);
+    assert!(out.comments.is_empty());
+    let strs: Vec<_> = out.toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+    assert_eq!(strs.len(), 1);
+    assert!(strs[0].text.contains("// not a comment"));
+    assert!(out.toks.iter().any(|t| t.is_ident("t")), "lexing continues");
+}
+
+#[test]
+fn raw_string_fencing_matches_hash_count() {
+    // The inner `"#` must not terminate a ##-fenced string.
+    let src = "let s = r##\"a \"# b\"##; let done = 0;";
+    let out = lex(src);
+    let s = out
+        .toks
+        .iter()
+        .find(|t| t.kind == TokKind::Str)
+        .expect("one raw string");
+    assert!(s.text.contains("\"# b"));
+    assert!(out.toks.iter().any(|t| t.is_ident("done")));
+}
+
+#[test]
+fn byte_and_c_string_prefixes() {
+    for src in [
+        "let s = b\"bytes\";",
+        "let s = c\"cstr\";",
+        "let s = br#\"raw\"#;",
+    ] {
+        let out = lex(src);
+        assert_eq!(
+            out.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1,
+            "in {src:?}"
+        );
+    }
+}
+
+#[test]
+fn string_escapes_do_not_end_the_literal() {
+    let out = lex(r#"let s = "a\"b"; let t = 2;"#);
+    let s = out
+        .toks
+        .iter()
+        .find(|t| t.kind == TokKind::Str)
+        .expect("string token");
+    assert!(s.text.contains("a\\\"b"));
+    assert!(out.toks.iter().any(|t| t.is_ident("t")));
+}
+
+#[test]
+fn lifetimes_vs_char_literals() {
+    let out = lex("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let u = '\\u{1F600}'; }");
+    let lifetimes: Vec<_> = out
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .collect();
+    let chars: Vec<_> = out
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Char)
+        .collect();
+    assert_eq!(lifetimes.len(), 2, "both 'a occurrences");
+    assert!(lifetimes.iter().all(|t| t.text == "'a"));
+    assert_eq!(chars.len(), 3, "'x', escaped quote, unicode escape");
+}
+
+#[test]
+fn static_lifetime_and_loop_labels() {
+    let out = lex("fn f(x: &'static str) { 'outer: loop { break 'outer; } }");
+    let lifetimes: Vec<_> = out
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, ["'static", "'outer", "'outer"]);
+}
+
+#[test]
+fn float_vs_int_classification() {
+    let out = lex("let a = 1.0; let b = 2; let c = 1e3; let d = 3f64; let e = 0x1f;");
+    let nums: Vec<(TokKind, &str)> = out
+        .toks
+        .iter()
+        .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+        .map(|t| (t.kind, t.text.as_str()))
+        .collect();
+    assert_eq!(
+        nums,
+        [
+            (TokKind::Float, "1.0"),
+            (TokKind::Int, "2"),
+            (TokKind::Float, "1e3"),
+            (TokKind::Float, "3f64"),
+            (TokKind::Int, "0x1f"),
+        ],
+        "hex 'f' digits and exponents must not confuse the classifier"
+    );
+}
+
+#[test]
+fn range_and_field_access_are_not_floats() {
+    let out = kinds("for i in 0..10 { t.0; }");
+    assert!(
+        out.contains(&(TokKind::Int, "0".into())) && out.contains(&(TokKind::Int, "10".into())),
+        "0..10 lexes as two ints around a range: {out:?}"
+    );
+    assert!(
+        !out.iter().any(|(k, _)| *k == TokKind::Float),
+        "no float anywhere in {out:?}"
+    );
+}
+
+#[test]
+fn raw_identifiers_lose_their_prefix() {
+    let out = texts("let r#match = 1;");
+    assert!(out.contains(&"match".to_string()), "{out:?}");
+    assert!(!out.iter().any(|t| t.starts_with("r#")));
+}
+
+#[test]
+fn maximal_munch_operators() {
+    let out = texts("a ..= b; c :: d; e -> f; g == h; i != j;");
+    for op in ["..=", "::", "->", "==", "!="] {
+        assert!(out.contains(&op.to_string()), "missing {op} in {out:?}");
+    }
+}
+
+#[test]
+fn line_numbers_advance_through_multiline_strings() {
+    let out = lex("let s = \"line1\nline2\nline3\";\nlet after = 1;");
+    let after = out
+        .toks
+        .iter()
+        .find(|t| t.is_ident("after"))
+        .expect("token after the string");
+    assert_eq!(after.line, 4);
+}
+
+#[test]
+fn unterminated_literals_run_to_eof_without_panicking() {
+    for src in [
+        "let s = \"abc",
+        "let s = r#\"abc",
+        "/* never closed",
+        "let c = '",
+    ] {
+        let _ = lex(src); // must not panic
+    }
+}

@@ -1,0 +1,327 @@
+//! Positive/negative coverage for each lint, driven through
+//! `lint_source` exactly as the binary runs it.
+
+use srclint::{lint_source, SourceFile};
+use std::path::PathBuf;
+
+fn file(lib: bool) -> SourceFile {
+    SourceFile {
+        rel: if lib {
+            "crates/x/src/lib.rs".into()
+        } else {
+            "crates/x/src/bin/tool.rs".into()
+        },
+        abs: PathBuf::new(),
+        lib,
+    }
+}
+
+/// Lints `src` and returns `(line, lint)` pairs; asserts the source has
+/// no suppression diagnostics so tests fail loudly on typos.
+fn lint(src: &str, lib: bool) -> Vec<(u32, &'static str)> {
+    let (findings, errors, unused, _) = lint_source(&file(lib), src);
+    assert!(errors.is_empty(), "unexpected hard errors: {errors:?}");
+    assert!(
+        unused.is_empty(),
+        "unexpected unused suppressions: {unused:?}"
+    );
+    findings.into_iter().map(|f| (f.line, f.lint)).collect()
+}
+
+fn lints_of(src: &str, lib: bool) -> Vec<&'static str> {
+    lint(src, lib).into_iter().map(|(_, l)| l).collect()
+}
+
+// --- nan_unsafe_comparator -------------------------------------------
+
+#[test]
+fn nan_comparator_in_sort_by_arg() {
+    let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+    assert_eq!(lints_of(src, false), ["nan_unsafe_comparator"]);
+}
+
+#[test]
+fn nan_comparator_unwrap_or_breaks_total_order() {
+    let src =
+        "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal)); }";
+    assert_eq!(lints_of(src, false), ["nan_unsafe_comparator"]);
+}
+
+#[test]
+fn nan_comparator_in_fn_returning_ordering() {
+    let src = "fn cmp(a: f64, b: f64) -> Ordering { a.partial_cmp(&b).expect(\"finite\") }";
+    assert_eq!(lints_of(src, false), ["nan_unsafe_comparator"]);
+}
+
+#[test]
+fn nan_comparator_covers_every_sort_family_method() {
+    for m in [
+        "sort_by",
+        "sort_unstable_by",
+        "binary_search_by",
+        "max_by",
+        "min_by",
+        "select_nth_unstable_by",
+    ] {
+        let src = format!("fn f(v: &mut Vec<f64>) {{ v.{m}(|a, b| a.partial_cmp(b).unwrap()); }}");
+        assert_eq!(lints_of(&src, false), ["nan_unsafe_comparator"], "{m}");
+    }
+}
+
+#[test]
+fn total_cmp_comparator_is_clean() {
+    let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }";
+    assert!(lints_of(src, false).is_empty());
+}
+
+#[test]
+fn partial_cmp_outside_comparator_context_is_not_this_lints_business() {
+    // Still a panic_in_lib in lib code, but not a comparator finding.
+    let src = "fn f(a: f64, b: f64) -> bool { a.partial_cmp(&b).unwrap() == Ordering::Less }";
+    assert!(!lints_of(src, false).contains(&"nan_unsafe_comparator"));
+}
+
+// --- panic_in_lib -----------------------------------------------------
+
+#[test]
+fn panics_flagged_in_lib_code_only() {
+    let src = r#"
+pub fn f(v: &[u32]) -> u32 { *v.first().unwrap() }
+pub fn g(v: &[u32]) -> u32 { *v.first().expect("non-empty") }
+pub fn h() { panic!("boom") }
+pub fn i() { unreachable!() }
+"#;
+    assert_eq!(
+        lints_of(src, true),
+        ["panic_in_lib"; 4],
+        "all four panic forms in a lib"
+    );
+    assert!(lints_of(src, false).is_empty(), "bins may abort freely");
+}
+
+#[test]
+fn cfg_test_modules_and_test_fns_are_stripped() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); }
+}
+
+#[test]
+fn free_test() { None::<u32>.expect("boom"); }
+"#;
+    assert!(lints_of(src, true).is_empty());
+}
+
+#[test]
+fn cfg_not_test_is_live_code() {
+    let src = r#"
+#[cfg(not(test))]
+pub fn f() { panic!("live") }
+"#;
+    assert_eq!(lints_of(src, true), ["panic_in_lib"]);
+}
+
+#[test]
+fn non_panicking_lookalikes_are_clean() {
+    let src = r#"
+pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }
+pub fn g(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 1) }
+pub fn h(a: usize, b: usize) { assert_eq!(a, b); assert!(a > 0); }
+"#;
+    assert!(
+        lints_of(src, true).is_empty(),
+        "unwrap_or* and the assert family are out of scope"
+    );
+}
+
+#[test]
+fn panic_inside_string_or_comment_is_invisible() {
+    let src = r#"
+// this comment says panic!("x") and .unwrap()
+pub fn f() -> &'static str { "panic!(\"y\")" }
+"#;
+    assert!(lints_of(src, true).is_empty());
+}
+
+// --- unguarded_prealloc ----------------------------------------------
+
+#[test]
+fn tainted_let_feeding_with_capacity() {
+    let src = r#"
+fn decode(r: &mut Reader) -> Vec<u8> {
+    let n = r.u32() as usize;
+    Vec::with_capacity(n)
+}
+"#;
+    assert_eq!(lints_of(src, false), ["unguarded_prealloc"]);
+}
+
+#[test]
+fn tainted_let_feeding_reserve() {
+    let src = r#"
+fn decode(r: &mut Reader, out: &mut Vec<u8>) {
+    let len = r.u64() as usize;
+    out.reserve(len);
+}
+"#;
+    assert_eq!(lints_of(src, false), ["unguarded_prealloc"]);
+}
+
+#[test]
+fn inline_raw_read_in_prealloc_args() {
+    let src = "fn f(r: &mut Reader) -> Vec<u8> { Vec::with_capacity(r.u64() as usize) }";
+    assert_eq!(lints_of(src, false), ["unguarded_prealloc"]);
+}
+
+#[test]
+fn seq_len_guard_is_the_sanctioned_fix() {
+    let src = r#"
+fn decode(r: &mut Reader) -> Result<Vec<u64>, BinError> {
+    let n = r.seq_len(8)?;
+    Ok(Vec::with_capacity(n))
+}
+"#;
+    assert!(lints_of(src, false).is_empty());
+}
+
+#[test]
+fn min_clamp_guards_also_count() {
+    let src = r#"
+fn a(r: &mut Reader) -> Vec<u8> {
+    let n = (r.u32() as usize).min(1024);
+    Vec::with_capacity(n)
+}
+fn b(r: &mut Reader) -> Vec<u8> {
+    let n = (r.u32() as usize).clamp(0, 1024);
+    Vec::with_capacity(n)
+}
+"#;
+    assert!(lints_of(src, false).is_empty());
+}
+
+#[test]
+fn taint_does_not_cross_function_boundaries() {
+    let src = r#"
+fn read_len(r: &mut Reader) -> usize { r.u32() as usize }
+fn alloc(n: usize) -> Vec<u8> { Vec::with_capacity(n) }
+"#;
+    assert!(lints_of(src, false).is_empty());
+}
+
+// --- raw_spawn --------------------------------------------------------
+
+#[test]
+fn detached_spawns_flagged() {
+    let src = r#"
+fn a() { std::thread::spawn(|| {}); }
+fn b() { use std::thread; thread::spawn(|| {}); }
+"#;
+    assert_eq!(lints_of(src, false), ["raw_spawn"; 2]);
+}
+
+#[test]
+fn scoped_spawns_are_clean() {
+    let src = r#"
+fn f(xs: &mut [f64]) {
+    std::thread::scope(|s| {
+        for c in xs.chunks_mut(4) {
+            s.spawn(move || c.reverse());
+        }
+    });
+}
+"#;
+    assert!(lints_of(src, false).is_empty());
+}
+
+// --- float_eq ---------------------------------------------------------
+
+#[test]
+fn float_literal_comparisons_flagged() {
+    let src = r#"
+fn a(x: f64) -> bool { x == 1.0 }
+fn b(x: f64) -> bool { x != 0.0 }
+fn c(x: f64) -> bool { 0.5 == x }
+"#;
+    assert_eq!(lints_of(src, false), ["float_eq"; 3]);
+}
+
+#[test]
+fn integer_comparisons_are_clean() {
+    let src = "fn f(x: usize) -> bool { x == 0 && x != 10 }";
+    assert!(lints_of(src, false).is_empty());
+}
+
+#[test]
+fn variable_to_variable_float_eq_is_a_documented_blind_spot() {
+    // Token-level lints cannot see types; `a == b` with float *variables*
+    // is invisible by design (docs/LINTS.md "blind spots").
+    let src = "fn f(a: f64, b: f64) -> bool { a == b }";
+    assert!(lints_of(src, false).is_empty());
+}
+
+// --- suppression handling through lint_source ------------------------
+
+#[test]
+fn standalone_suppression_covers_next_code_line() {
+    let src = r#"
+fn f(x: f64) -> bool {
+    // srclint: allow(float_eq, reason = "sentinel, never computed")
+    x == 1.0
+}
+"#;
+    let (findings, errors, unused, suppressed) = lint_source(&file(false), src);
+    assert!(findings.is_empty() && errors.is_empty() && unused.is_empty());
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn trailing_suppression_covers_its_own_line() {
+    let src =
+        "fn f(x: f64) -> bool { x == 1.0 } // srclint: allow(float_eq, reason = \"sentinel\")";
+    let (findings, _, unused, suppressed) = lint_source(&file(false), src);
+    assert!(findings.is_empty() && unused.is_empty());
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn suppression_is_lint_specific() {
+    // The allow names raw_spawn but the finding is float_eq: the finding
+    // survives AND the suppression is reported unused.
+    let src = r#"
+fn f(x: f64) -> bool {
+    // srclint: allow(raw_spawn, reason = "wrong lint on purpose")
+    x == 1.0
+}
+"#;
+    let (findings, errors, unused, _) = lint_source(&file(false), src);
+    assert_eq!(findings.len(), 1);
+    assert!(errors.is_empty());
+    assert_eq!(unused.len(), 1);
+}
+
+#[test]
+fn reasonless_allow_is_a_hard_error() {
+    let src = "// srclint: allow(float_eq)\nfn f() {}";
+    let (_, errors, _, _) = lint_source(&file(false), src);
+    assert_eq!(errors.len(), 1);
+    assert!(errors[0].msg.contains("reason"), "{}", errors[0].msg);
+}
+
+#[test]
+fn unknown_lint_in_allow_is_a_hard_error() {
+    let src = "// srclint: allow(no_such_lint, reason = \"x\")\nfn f() {}";
+    let (_, errors, _, _) = lint_source(&file(false), src);
+    assert_eq!(errors.len(), 1);
+}
+
+#[test]
+fn prose_mentioning_the_syntax_is_inert() {
+    // The marker must OPEN the comment; docs that merely mention
+    // `// srclint: allow(..)` mid-sentence parse as nothing.
+    let src = "// add a `srclint: allow(float_eq, reason = \"..\")` marker here\nfn f() {}";
+    let (findings, errors, _, suppressed) = lint_source(&file(false), src);
+    assert!(findings.is_empty() && errors.is_empty());
+    assert_eq!(suppressed, 0);
+}

@@ -1,0 +1,152 @@
+//! Ratchet semantics: the baseline absorbs exactly its budget, fails on
+//! growth (new) AND on unbanked improvement (stale), and round-trips
+//! through its JSON form.
+
+use srclint::runner::Finding;
+use srclint::{Baseline, RatchetBreak};
+
+fn finding(file: &str, line: u32, lint: &'static str) -> Finding {
+    Finding {
+        file: file.into(),
+        line,
+        lint,
+        snippet: String::new(),
+    }
+}
+
+#[test]
+fn exact_budget_passes() {
+    let findings = vec![
+        finding("a.rs", 3, "panic_in_lib"),
+        finding("a.rs", 9, "panic_in_lib"),
+        finding("b.rs", 1, "float_eq"),
+    ];
+    let base = Baseline::from_findings(&findings);
+    let report = base.compare(&findings);
+    assert!(report.breaks.is_empty());
+    assert!(report.new.is_empty());
+    assert_eq!(report.baselined, 3);
+}
+
+#[test]
+fn findings_move_within_a_file_without_breaking_the_ratchet() {
+    // The baseline keys on (file, lint) → count, not line numbers:
+    // unrelated edits that shift lines must not churn the gate.
+    let before = vec![
+        finding("a.rs", 3, "panic_in_lib"),
+        finding("a.rs", 9, "panic_in_lib"),
+    ];
+    let after = vec![
+        finding("a.rs", 41, "panic_in_lib"),
+        finding("a.rs", 77, "panic_in_lib"),
+    ];
+    let base = Baseline::from_findings(&before);
+    assert!(base.compare(&after).breaks.is_empty());
+}
+
+#[test]
+fn a_new_finding_fails_and_is_attributed() {
+    let base = Baseline::from_findings(&[finding("a.rs", 3, "panic_in_lib")]);
+    let now = vec![
+        finding("a.rs", 3, "panic_in_lib"),
+        finding("a.rs", 50, "panic_in_lib"),
+    ];
+    let report = base.compare(&now);
+    assert_eq!(report.baselined, 1);
+    assert_eq!(report.new.len(), 1);
+    assert_eq!(
+        report.new[0].line, 50,
+        "the over-budget finding, by line order"
+    );
+    assert!(matches!(
+        report.breaks.as_slice(),
+        [RatchetBreak::New {
+            budget: 1,
+            actual: 2,
+            ..
+        }]
+    ));
+}
+
+#[test]
+fn a_different_lint_in_a_baselined_file_is_still_new() {
+    let base = Baseline::from_findings(&[finding("a.rs", 3, "panic_in_lib")]);
+    let report = base.compare(&[
+        finding("a.rs", 3, "panic_in_lib"),
+        finding("a.rs", 3, "float_eq"),
+    ]);
+    assert_eq!(report.new.len(), 1);
+    assert_eq!(report.new[0].lint, "float_eq");
+}
+
+#[test]
+fn fixing_a_finding_makes_the_baseline_stale() {
+    let base = Baseline::from_findings(&[
+        finding("a.rs", 3, "panic_in_lib"),
+        finding("a.rs", 9, "panic_in_lib"),
+    ]);
+    let report = base.compare(&[finding("a.rs", 3, "panic_in_lib")]);
+    assert!(report.new.is_empty());
+    assert!(matches!(
+        report.breaks.as_slice(),
+        [RatchetBreak::Stale {
+            budget: 2,
+            actual: 1,
+            ..
+        }]
+    ));
+}
+
+#[test]
+fn fixing_every_finding_of_a_key_is_also_stale() {
+    // A (file, lint) key that vanished entirely must still force a
+    // --update-baseline, otherwise the budget could silently linger.
+    let base = Baseline::from_findings(&[finding("a.rs", 3, "panic_in_lib")]);
+    let report = base.compare(&[]);
+    assert!(matches!(
+        report.breaks.as_slice(),
+        [RatchetBreak::Stale {
+            budget: 1,
+            actual: 0,
+            ..
+        }]
+    ));
+}
+
+#[test]
+fn empty_baseline_flags_everything_as_new() {
+    let now = vec![
+        finding("a.rs", 1, "float_eq"),
+        finding("b.rs", 2, "raw_spawn"),
+    ];
+    let report = Baseline::empty().compare(&now);
+    assert_eq!(report.new.len(), 2);
+    assert_eq!(report.baselined, 0);
+}
+
+#[test]
+fn json_roundtrip_preserves_budgets() {
+    let base = Baseline::from_findings(&[
+        finding("a.rs", 3, "panic_in_lib"),
+        finding("a.rs", 9, "panic_in_lib"),
+        finding("b.rs", 1, "float_eq"),
+    ]);
+    let parsed = Baseline::parse(&base.to_json()).expect("own output parses");
+    assert_eq!(parsed.budget("a.rs", "panic_in_lib"), 2);
+    assert_eq!(parsed.budget("b.rs", "float_eq"), 1);
+    assert_eq!(parsed.budget("b.rs", "panic_in_lib"), 0);
+    assert_eq!(parsed.total(), 3);
+}
+
+#[test]
+fn malformed_baseline_is_rejected() {
+    for src in [
+        "",
+        "not json",
+        "{}",
+        r#"{"version": 999, "entries": []}"#,
+        r#"{"version": 1, "entries": [{"file": "a.rs"}]}"#,
+    ] {
+        assert!(Baseline::parse(src).is_err(), "accepted {src:?}");
+    }
+}

@@ -1,0 +1,171 @@
+//! End-to-end checks against the real binary and the committed fixture
+//! corpus — the same invocations CI runs. The key property: seeding any
+//! listed violation makes srclint exit non-zero (the gate still bites).
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_srclint");
+
+/// Runs the binary from the crate dir (where `fixtures/` lives).
+fn srclint(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn srclint")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("srclint exits, never signals")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn every_seeded_violation_fails_the_gate() {
+    for (fixture, lint) in [
+        ("fixtures/nan_comparator.rs", "nan_unsafe_comparator"),
+        ("fixtures/src/panic_in_lib.rs", "panic_in_lib"),
+        ("fixtures/prealloc.rs", "unguarded_prealloc"),
+        ("fixtures/raw_spawn.rs", "raw_spawn"),
+        ("fixtures/float_eq.rs", "float_eq"),
+    ] {
+        let out = srclint(&["--no-baseline", fixture]);
+        assert_eq!(code(&out), 1, "{fixture} must fail: {}", stdout(&out));
+        assert!(
+            stdout(&out).contains(lint),
+            "{fixture} must report {lint}: {}",
+            stdout(&out)
+        );
+    }
+}
+
+#[test]
+fn combined_seeded_fixture_fails_with_every_non_lib_lint() {
+    let out = srclint(&["--no-baseline", "fixtures/seeded_violation.rs"]);
+    assert_eq!(code(&out), 1);
+    let text = stdout(&out);
+    for lint in [
+        "nan_unsafe_comparator",
+        "unguarded_prealloc",
+        "raw_spawn",
+        "float_eq",
+    ] {
+        assert!(text.contains(lint), "missing {lint} in:\n{text}");
+    }
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let out = srclint(&["--no-baseline", "fixtures/clean.rs"]);
+    assert_eq!(code(&out), 0, "{}", stdout(&out));
+}
+
+#[test]
+fn malformed_suppressions_fail_even_without_findings() {
+    let out = srclint(&["--no-baseline", "fixtures/bad_suppression.rs"]);
+    assert_eq!(code(&out), 1);
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert_eq!(
+        err.matches("[suppression]").count(),
+        3,
+        "all three malformed markers reported:\n{err}"
+    );
+}
+
+#[test]
+fn reasoned_suppressions_silence_findings() {
+    let out = srclint(&["--no-baseline", "fixtures/suppressed.rs"]);
+    assert_eq!(code(&out), 0, "{}", stdout(&out));
+    assert!(
+        stdout(&out).contains("2 suppressed"),
+        "both markers must be credited: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn baseline_cli_ratchet_passes_on_exact_budget_and_fails_otherwise() {
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(tmp).expect("tmpdir");
+    // fixtures/float_eq.rs holds exactly two float_eq findings.
+    let case = |count: u64| {
+        let path = tmp.join(format!("baseline_{count}.json"));
+        let body = format!(
+            "{{\n  \"version\": 1,\n  \"entries\": [\n    {{\"file\": \"fixtures/float_eq.rs\", \
+             \"lint\": \"float_eq\", \"count\": {count}}}\n  ]\n}}\n",
+        );
+        std::fs::write(&path, body).expect("write baseline");
+        srclint(&[
+            "--baseline",
+            path.to_str().expect("utf-8 tmpdir"),
+            "fixtures/float_eq.rs",
+        ])
+    };
+    assert_eq!(code(&case(2)), 0, "exact budget passes");
+    let over = case(1);
+    assert_eq!(code(&over), 1, "a finding beyond the budget is NEW");
+    assert!(stdout(&over).contains("NEW"));
+    let stale = case(3);
+    assert_eq!(code(&stale), 1, "an under-used budget is stale");
+    assert!(String::from_utf8_lossy(&stale.stderr).contains("stale"));
+}
+
+#[test]
+fn missing_baseline_file_means_empty_baseline() {
+    let out = srclint(&[
+        "--baseline",
+        "fixtures/does_not_exist.json",
+        "fixtures/float_eq.rs",
+    ]);
+    assert_eq!(code(&out), 1, "both findings are new against nothing");
+}
+
+#[test]
+fn json_report_is_parseable_and_complete() {
+    let out = srclint(&[
+        "--no-baseline",
+        "--format",
+        "json",
+        "fixtures/seeded_violation.rs",
+    ]);
+    assert_eq!(code(&out), 1);
+    let doc = srclint::json::parse(&stdout(&out)).expect("valid JSON report");
+    let findings = doc
+        .get("findings")
+        .and_then(|v| v.as_array())
+        .expect("findings array");
+    assert!(findings.len() >= 4, "one per seeded lint at least");
+    for f in findings {
+        for key in ["file", "line", "lint", "snippet", "baselined"] {
+            assert!(f.get(key).is_some(), "finding missing {key}");
+        }
+    }
+    doc.get("summary").expect("summary object");
+}
+
+#[test]
+fn the_workspace_itself_passes_the_committed_baseline() {
+    // The acceptance gate, as a test: `cargo run -p srclint` green at the
+    // repo root, against the committed srclint.baseline.json.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let out = Command::new(BIN)
+        .args(["--root", root.to_str().expect("utf-8 root")])
+        .current_dir(&root)
+        .output()
+        .expect("spawn srclint");
+    assert_eq!(
+        code(&out),
+        0,
+        "workspace lint must be green:\n{}\n{}",
+        stdout(&out),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -5,17 +5,19 @@
 //! `--quick` scale; `--tiny`/`--full` switch it), reopening a persisted
 //! session — read the file, decode, re-validate, recompute `Lᵀ` caches —
 //! is strictly cheaper than rebuilding it with a full 31-template catalog
-//! count. The bin times three phases over `--reps` repetitions (rebuild,
-//! save, open), verifies the reopened session resumes `update_anchors`
-//! bit-equal to the rebuilt one, and writes `BENCH_snapshot.json` for the
-//! CI perf-trajectory gate.
+//! count, and a per-round journal append (ΔA bytes + fsync) is strictly
+//! cheaper than a monolithic save. The bin times six phases over `--reps`
+//! repetitions (rebuild, save, open, journal-append, journal-open,
+//! compact), verifies the reopened and journal-replayed sessions resume
+//! `update_anchors` bit-equal to the rebuilt one, and writes
+//! `BENCH_snapshot.json` for the CI perf-trajectory gate.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin snapshot [-- --tiny | --full]
 //! ```
 
 use eval::MetricSummary;
-use session::{snapshot, SessionBuilder};
+use session::{snapshot, Journal, SessionBuilder};
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -78,11 +80,60 @@ fn main() {
         );
     }
     assert_eq!(reopened.stats().full_counts, 1, "reopen must not recount");
+    let base_bytes = std::fs::read(&path).expect("read saved base");
+    let total_anchors = reopened.n_anchors();
     std::fs::remove_file(&path).ok();
+
+    // Journal cells: the same trained base persisted as base + delta
+    // journal. `journal-append` is the durable per-round cost — append
+    // the held-out batch and fsync a checkpoint — which the paired CI
+    // gate (`--paired journal-append:save`) holds against the monolithic
+    // save above. `journal-open` replays base + journal; `compact` folds
+    // the journal back into a fresh base (serialize + marker + publish).
+    let jbase = std::env::temp_dir().join(format!("bench-journal-{}.snap", std::process::id()));
+    let mut append_time = Duration::ZERO;
+    let mut jopen_time = Duration::ZERO;
+    let mut compact_time = Duration::ZERO;
+    let mut journal_bytes = 0u64;
+    for _ in 0..reps {
+        let mut journal = Journal::create(&jbase, &base_bytes).expect("journal create");
+
+        let t = Instant::now();
+        journal.append(held_out).expect("journal append");
+        journal
+            .checkpoint(total_anchors)
+            .expect("journal checkpoint");
+        append_time += t.elapsed();
+        journal_bytes = journal.journal_bytes();
+
+        let t = Instant::now();
+        let (replayed, mut journal) = Journal::open(&jbase).expect("journal open");
+        jopen_time += t.elapsed();
+        assert_eq!(
+            snapshot::to_bytes(&replayed),
+            snapshot::to_bytes(&reopened),
+            "journal replay must be bit-equal to the monolithic reopen"
+        );
+
+        let t = Instant::now();
+        let folded = snapshot::to_bytes(&replayed);
+        journal.compact(&folded).expect("journal compact");
+        compact_time += t.elapsed();
+        assert_eq!(
+            journal.delta_records(),
+            0,
+            "compaction must drain the journal"
+        );
+    }
+    std::fs::remove_file(&jbase).ok();
+    std::fs::remove_file(Journal::path_for(&jbase)).ok();
 
     let rebuild = rebuild_time / reps as u32;
     let save = save_time / reps as u32;
     let open = open_time / reps as u32;
+    let append = append_time / reps as u32;
+    let jopen = jopen_time / reps as u32;
+    let compact = compact_time / reps as u32;
     let no_f1 = MetricSummary {
         mean: f64::NAN,
         std: 0.0,
@@ -91,9 +142,13 @@ fn main() {
     recorder.annotate("reps", reps);
     recorder.annotate("n_train", n_train);
     recorder.annotate("snapshot_bytes", file_bytes);
+    recorder.annotate("journal_bytes", journal_bytes);
     recorder.record("rebuild", "counted-stage", no_f1, rebuild);
     recorder.record("save", "counted-stage", no_f1, save);
     recorder.record("open", "counted-stage", no_f1, open);
+    recorder.record("journal-append", "counted-stage", no_f1, append);
+    recorder.record("journal-open", "counted-stage", no_f1, jopen);
+    recorder.record("compact", "counted-stage", no_f1, compact);
     let json = recorder.write().expect("write BENCH_snapshot.json");
 
     println!(
@@ -104,9 +159,16 @@ fn main() {
     println!("  rebuild (full catalog count): {rebuild:>10.2?}");
     println!("  save snapshot:                {save:>10.2?}  ({file_bytes} bytes)");
     println!("  open from snapshot:           {open:>10.2?}");
+    println!("  journal append + checkpoint:  {append:>10.2?}  ({journal_bytes} bytes)");
+    println!("  open base + replay journal:   {jopen:>10.2?}");
+    println!("  compact journal into base:    {compact:>10.2?}");
     println!(
         "  open is {:.1}× faster than rebuild",
         rebuild.as_secs_f64() / open.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "  journal append is {:.1}× faster than save",
+        save.as_secs_f64() / append.as_secs_f64().max(1e-9)
     );
     println!("record: {}", json.display());
     // The serving claim holds where serving happens: at the table IV
@@ -117,6 +179,10 @@ fn main() {
         assert!(
             open < rebuild,
             "open-from-snapshot ({open:?}) must beat rebuild ({rebuild:?})"
+        );
+        assert!(
+            append < save,
+            "journal append ({append:?}) must beat monolithic save ({save:?})"
         );
     }
 }

@@ -41,21 +41,19 @@ use sparsela::Threading;
 /// before the recursive decoder can overflow the stack.
 const MAX_DIAGRAM_DEPTH: usize = 16;
 
-const FEATURE_SET_TAGS: [(FeatureSet, u8); 5] = [
-    (FeatureSet::MetaPathsOnly, 0),
-    (FeatureSet::PathsAndSocialDiagrams, 1),
-    (FeatureSet::PathsAndAttrDiagram, 2),
-    (FeatureSet::Full, 3),
-    (FeatureSet::FullWithWords, 4),
-];
+fn feature_set_tag(set: FeatureSet) -> u8 {
+    match set {
+        FeatureSet::MetaPathsOnly => 0,
+        FeatureSet::PathsAndSocialDiagrams => 1,
+        FeatureSet::PathsAndAttrDiagram => 2,
+        FeatureSet::Full => 3,
+        FeatureSet::FullWithWords => 4,
+    }
+}
 
 /// Encodes a [`FeatureSet`] as a one-byte tag.
 pub fn encode_feature_set(set: FeatureSet, w: &mut Writer) {
-    let (_, tag) = FEATURE_SET_TAGS
-        .iter()
-        .find(|(s, _)| *s == set)
-        .expect("every FeatureSet variant is tagged");
-    w.u8(*tag);
+    w.u8(feature_set_tag(set));
 }
 
 /// Decodes a [`FeatureSet`] tag.
@@ -63,12 +61,14 @@ pub fn encode_feature_set(set: FeatureSet, w: &mut Writer) {
 /// # Errors
 /// [`Error::Malformed`] on an unknown tag; EOF errors on truncated input.
 pub fn decode_feature_set(r: &mut Reader<'_>) -> Result<FeatureSet, Error> {
-    let tag = r.u8()?;
-    FEATURE_SET_TAGS
-        .iter()
-        .find(|(_, t)| *t == tag)
-        .map(|(s, _)| *s)
-        .ok_or_else(|| Error::Malformed(format!("feature set: unknown tag {tag}")))
+    match r.u8()? {
+        0 => Ok(FeatureSet::MetaPathsOnly),
+        1 => Ok(FeatureSet::PathsAndSocialDiagrams),
+        2 => Ok(FeatureSet::PathsAndAttrDiagram),
+        3 => Ok(FeatureSet::Full),
+        4 => Ok(FeatureSet::FullWithWords),
+        tag => Err(Error::Malformed(format!("feature set: unknown tag {tag}"))),
+    }
 }
 
 fn social_tag(p: SocialPathId) -> u8 {

@@ -94,6 +94,7 @@
 #![warn(missing_docs)]
 
 mod active;
+pub mod journal;
 pub mod pool;
 pub mod sharded;
 pub mod snapshot;
@@ -101,11 +102,12 @@ mod stages;
 pub mod workers;
 
 pub use active::{ActiveRunReport, RecountPolicy, RoundStat};
+pub use journal::{CompactionPolicy, Journal, JournalError};
 pub use metadiagram::delta::{CountMerge, StackRegions};
 pub use pool::{PoolError, SessionPool};
 pub use sharded::{
-    RoutingSummary, ShardFitReport, ShardedConfig, ShardedError, ShardedSession, ShardedUpdate,
-    StitchedAlignment, StitchedLink,
+    manifest_info, ManifestInfo, RoutingSummary, ShardFitReport, ShardedConfig, ShardedError,
+    ShardedSession, ShardedUpdate, StitchedAlignment, StitchedLink,
 };
 pub use snapshot::SnapshotError;
 pub use stages::{AlignmentSession, Counted, Featurized, Fitted, ProximityRefresh, SessionBuilder};

@@ -8,8 +8,8 @@
 //! shard manager:
 //!
 //! * sessions enter the pool either live ([`SessionPool::insert`]) or by
-//!   **opening a snapshot** ([`SessionPool::open`] /
-//!   [`SessionPool::open_many`], the latter sharding the decode work
+//!   **opening a base snapshot + ΔA journal** ([`SessionPool::open`] /
+//!   [`SessionPool::open_many`], the latter sharding the replay work
 //!   across the worker budget) — at paper scale, opening is the
 //!   difference between milliseconds and a full catalog recount per
 //!   session (the `snapshot` bench bin measures it);
@@ -17,11 +17,34 @@
 //!   `Featurized`) behind its own lock, so independent sessions never
 //!   contend and a batch touching one session many times serializes
 //!   correctly;
-//! * batch operations ([`SessionPool::update_many`]) fan out over the
-//!   bounded, panic-safe, order-preserving worker runner
-//!   ([`crate::workers::run_ordered`]) — the same pattern
-//!   `eval::multi` shards pairwise evaluation with — returning results
-//!   in job order.
+//! * batch operations ([`SessionPool::update_many`] /
+//!   [`SessionPool::save_many`]) fan out over the bounded, panic-safe,
+//!   order-preserving worker runner ([`crate::workers::run_ordered`]) —
+//!   the same pattern `eval::multi` shards pairwise evaluation with —
+//!   returning results in job order.
+//!
+//! ## Write-ahead journaling
+//!
+//! A slot opened from disk (or explicitly journaled via
+//! [`SessionPool::attach_journal`]) carries a [`Journal`]: every anchor
+//! update is **appended to the journal before it is applied in memory**,
+//! under the slot lock, so the on-disk record is never behind the state
+//! it reconstructs. The ordering contract, precisely:
+//!
+//! 1. the batch is pre-validated against the anchor shape (the exact
+//!    check the delta path performs), so a batch that would be refused in
+//!    memory is refused *before* it reaches the journal;
+//! 2. the `AnchorDelta` record is appended (buffered write — the OS has
+//!    it, a process crash loses nothing);
+//! 3. the in-memory update applies.
+//!
+//! If (2) fails, memory is untouched and the journal holds at most a
+//! torn tail, which the next open truncates. A no-op batch (all edges
+//! already known) is journaled too and replays as the same no-op —
+//! replayed stats stay bit-equal. [`SessionPool::save`] on a journaled
+//! slot appends a fsynced `Checkpoint` record — O(|ΔA|), not O(session)
+//! — and folds the journal back into its base per the pool's
+//! [`CompactionPolicy`] ([`SessionPool::set_compaction`]).
 //!
 //! Fitted stages stay out of the pool by design: a fit is a terminal,
 //! read-only artifact ([`AlignmentSession::into_report`]); serving keeps
@@ -49,6 +72,7 @@
 //! assert_eq!(pool.stats(b).unwrap().full_counts, 1); // still no recount
 //! ```
 
+use crate::journal::{self, CompactionPolicy, Journal, JournalError};
 use crate::snapshot::{self, SnapshotError};
 use crate::stages::{AlignmentSession, Counted, Featurized};
 use crate::workers::run_ordered;
@@ -105,14 +129,21 @@ pub enum PoolError {
     },
     /// Opening or saving a snapshot failed.
     Snapshot(SnapshotError),
+    /// A journal operation failed (write-ahead append, checkpoint,
+    /// compaction).
+    Journal(JournalError),
+    /// The operation needs a journaled slot ([`SessionPool::checkpoint`]
+    /// on a live-inserted session that was never
+    /// [`attach_journal`](SessionPool::attach_journal)ed).
+    Unjournaled(usize),
     /// Opening a specific snapshot file failed — carries the offending
     /// path so a batch open ([`SessionPool::open_many`]) over dozens of
     /// shard files names which one refused, not just how.
     OpenSnapshot {
         /// The snapshot file that failed to open.
         path: std::path::PathBuf,
-        /// Why it failed.
-        source: SnapshotError,
+        /// Why it failed (base snapshot or journal replay).
+        source: JournalError,
     },
     /// The underlying session operation failed.
     Session(SessionError),
@@ -132,6 +163,10 @@ impl fmt::Display for PoolError {
                 write!(f, "session #{id} is not in the {expected} stage")
             }
             PoolError::Snapshot(e) => write!(f, "pool snapshot: {e}"),
+            PoolError::Journal(e) => write!(f, "pool journal: {e}"),
+            PoolError::Unjournaled(id) => {
+                write!(f, "session #{id} has no journal attached")
+            }
             PoolError::OpenSnapshot { path, source } => {
                 write!(f, "pool snapshot {}: {source}", path.display())
             }
@@ -144,6 +179,7 @@ impl std::error::Error for PoolError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PoolError::Snapshot(e) => Some(e),
+            PoolError::Journal(e) => Some(e),
             PoolError::OpenSnapshot { source, .. } => Some(source),
             PoolError::Session(e) => Some(e),
             _ => None,
@@ -154,6 +190,12 @@ impl std::error::Error for PoolError {
 impl From<SnapshotError> for PoolError {
     fn from(e: SnapshotError) -> Self {
         PoolError::Snapshot(e)
+    }
+}
+
+impl From<JournalError> for PoolError {
+    fn from(e: JournalError) -> Self {
+        PoolError::Journal(e)
     }
 }
 
@@ -169,11 +211,54 @@ enum Staged {
     Featurized(AlignmentSession<Featurized>),
 }
 
+impl Staged {
+    /// The counted core's snapshot bytes — identical from either stage
+    /// (features and fits are derived artifacts a reopening process
+    /// re-derives).
+    fn core_bytes(&self) -> Vec<u8> {
+        match self {
+            Staged::Counted(s) => snapshot::to_bytes(s),
+            Staged::Featurized(s) => snapshot::counted_core_to_bytes(&s.catalog, &s.counts),
+        }
+    }
+
+    fn n_anchors(&self) -> usize {
+        match self {
+            Staged::Counted(s) => s.n_anchors(),
+            Staged::Featurized(s) => s.n_anchors(),
+        }
+    }
+
+    fn anchor_shape(&self) -> (usize, usize) {
+        match self {
+            Staged::Counted(s) => s.anchor().shape(),
+            Staged::Featurized(s) => s.anchor().shape(),
+        }
+    }
+}
+
+/// One pooled session plus its (optional) write-ahead journal. The two
+/// live under the same lock so append-then-apply is atomic per slot.
+struct Slot {
+    staged: Staged,
+    journal: Option<Journal>,
+}
+
+impl Slot {
+    fn live(staged: Staged) -> Self {
+        Slot {
+            staged,
+            journal: None,
+        }
+    }
+}
+
 /// A bounded shard manager over many [`AlignmentSession`]s; see the
 /// [module docs](self).
 pub struct SessionPool {
-    slots: Vec<Mutex<Option<Staged>>>,
+    slots: Vec<Mutex<Option<Slot>>>,
     workers: usize,
+    compaction: CompactionPolicy,
 }
 
 impl fmt::Debug for SessionPool {
@@ -204,12 +289,24 @@ impl SessionPool {
         SessionPool {
             slots: Vec::new(),
             workers,
+            compaction: CompactionPolicy::Never,
         }
     }
 
     /// The effective worker budget.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Sets when [`SessionPool::save`] folds a slot's journal back into
+    /// its base snapshot (default: [`CompactionPolicy::Never`]).
+    pub fn set_compaction(&mut self, policy: CompactionPolicy) {
+        self.compaction = policy;
+    }
+
+    /// The pool's current compaction policy.
+    pub fn compaction(&self) -> CompactionPolicy {
+        self.compaction
     }
 
     /// Number of sessions (including vacated slots).
@@ -222,53 +319,62 @@ impl SessionPool {
         self.slots.is_empty()
     }
 
-    fn push(&mut self, staged: Staged) -> SessionId {
-        self.slots.push(Mutex::new(Some(staged)));
+    fn push(&mut self, slot: Slot) -> SessionId {
+        self.slots.push(Mutex::new(Some(slot)));
         SessionId(self.slots.len() - 1)
     }
 
-    /// Adds a live [`Counted`] session.
+    /// Adds a live [`Counted`] session (no journal; attach one with
+    /// [`SessionPool::attach_journal`] to get write-ahead persistence).
     pub fn insert(&mut self, session: AlignmentSession<Counted>) -> SessionId {
-        self.push(Staged::Counted(session))
+        self.push(Slot::live(Staged::Counted(session)))
     }
 
     /// Adds a live [`Featurized`] session.
     pub fn insert_featurized(&mut self, session: AlignmentSession<Featurized>) -> SessionId {
-        self.push(Staged::Featurized(session))
+        self.push(Slot::live(Staged::Featurized(session)))
     }
 
-    /// Opens the snapshot at `path` into a new slot.
+    /// Opens the base snapshot at `path` into a new slot, replaying its
+    /// ΔA journal (if any) through the delta path; the slot keeps the
+    /// journal attached, so later updates are write-ahead journaled.
     ///
     /// # Errors
-    /// [`PoolError::Snapshot`] when the snapshot cannot be restored; the
-    /// pool is unchanged in that case.
+    /// [`PoolError::Journal`] when the base or journal cannot be
+    /// restored; the pool is unchanged in that case.
     pub fn open(&mut self, path: impl AsRef<Path>) -> Result<SessionId, PoolError> {
-        let session = snapshot::open(path)?;
-        Ok(self.insert(session))
+        let (session, journal) = Journal::open(path)?;
+        Ok(self.push(Slot {
+            staged: Staged::Counted(session),
+            journal: Some(journal),
+        }))
     }
 
-    /// Opens many snapshots, sharding the decode work across the worker
-    /// budget, and returns one result per path **in path order**.
-    /// Successfully opened sessions are inserted in path order too, so
-    /// ids are deterministic; failed paths consume no slot and report
-    /// [`PoolError::OpenSnapshot`] naming the offending file.
+    /// Opens many base+journal pairs, sharding the decode/replay work
+    /// across the worker budget, and returns one result per path **in
+    /// path order**. Successfully opened sessions are inserted in path
+    /// order too, so ids are deterministic; failed paths consume no slot
+    /// and report [`PoolError::OpenSnapshot`] naming the offending file.
     pub fn open_many<P: AsRef<Path> + Sync>(
         &mut self,
         paths: &[P],
     ) -> Vec<Result<SessionId, PoolError>> {
-        let mut opened: Vec<Result<AlignmentSession<Counted>, SnapshotError>> =
+        let mut opened: Vec<Result<(AlignmentSession<Counted>, Journal), JournalError>> =
             Vec::with_capacity(paths.len());
         run_ordered(
             paths.len(),
             self.workers,
-            |i| snapshot::open(paths[i].as_ref()),
+            |i| Journal::open(paths[i].as_ref()),
             |r| opened.push(r),
         );
         opened
             .into_iter()
             .zip(paths)
             .map(|(r, path)| match r {
-                Ok(session) => Ok(self.insert(session)),
+                Ok((session, journal)) => Ok(self.push(Slot {
+                    staged: Staged::Counted(session),
+                    journal: Some(journal),
+                })),
                 Err(source) => Err(PoolError::OpenSnapshot {
                     path: path.as_ref().to_path_buf(),
                     source,
@@ -277,7 +383,24 @@ impl SessionPool {
             .collect()
     }
 
-    fn slot(&self, id: SessionId) -> Result<MutexGuard<'_, Option<Staged>>, PoolError> {
+    /// Journals a live-inserted slot: writes its counted core as the base
+    /// snapshot at `path`, starts a fresh journal beside it, and attaches
+    /// the journal to the slot — from here on updates are write-ahead
+    /// appended. Re-attaching (same slot, any path) replaces the old
+    /// journal handle; the old files stay valid on disk.
+    ///
+    /// # Errors
+    /// Slot errors as elsewhere; [`PoolError::Journal`] when either write
+    /// fails (the slot then keeps its previous journal state).
+    pub fn attach_journal(&self, id: SessionId, path: impl AsRef<Path>) -> Result<(), PoolError> {
+        let mut guard = self.slot(id)?;
+        let slot = guard.as_mut().ok_or(PoolError::Vacated(id.0))?;
+        let journal = Journal::create(path, &slot.staged.core_bytes())?;
+        slot.journal = Some(journal);
+        Ok(())
+    }
+
+    fn slot(&self, id: SessionId) -> Result<MutexGuard<'_, Option<Slot>>, PoolError> {
         let m = self
             .slots
             .get(id.0)
@@ -304,13 +427,26 @@ impl SessionPool {
     /// [`AlignmentSession::update_anchors`]). Returns the number of
     /// genuinely new anchors merged.
     ///
+    /// On a journaled slot this is **write-ahead**: the batch is
+    /// pre-validated, appended to the journal, and only then applied in
+    /// memory — all under the slot lock (see the module docs for the
+    /// ordering contract).
+    ///
     /// # Errors
     /// [`PoolError::UnknownSession`] / [`PoolError::Vacated`] for bad
-    /// slots; [`PoolError::Session`] when the update itself fails
-    /// (out-of-range endpoints — the session is unchanged).
+    /// slots; [`PoolError::Session`] when the batch is invalid
+    /// (out-of-range endpoints — neither journal nor session changes);
+    /// [`PoolError::Journal`] when the append fails (the session is
+    /// unchanged).
     pub fn update_anchors(&self, id: SessionId, edges: &[AnchorEdge]) -> Result<usize, PoolError> {
         let mut guard = self.slot(id)?;
-        match guard.as_mut().ok_or(PoolError::Vacated(id.0))? {
+        let slot = guard.as_mut().ok_or(PoolError::Vacated(id.0))?;
+        if let Some(j) = slot.journal.as_mut() {
+            journal::validate_edges(slot.staged.anchor_shape(), edges)
+                .map_err(PoolError::Session)?;
+            j.append(edges)?;
+        }
+        match &mut slot.staged {
             Staged::Counted(s) => Ok(s.update_anchors(edges)?),
             Staged::Featurized(s) => Ok(s.update_anchors(edges)?),
         }
@@ -358,13 +494,20 @@ impl SessionPool {
         candidates: Vec<(UserId, UserId)>,
     ) -> Result<(), PoolError> {
         let mut guard = self.slot(id)?;
-        match guard.take().ok_or(PoolError::Vacated(id.0))? {
+        let Slot { staged, journal } = guard.take().ok_or(PoolError::Vacated(id.0))?;
+        match staged {
             Staged::Counted(s) => {
-                *guard = Some(Staged::Featurized(s.featurize(candidates)));
+                *guard = Some(Slot {
+                    staged: Staged::Featurized(s.featurize(candidates)),
+                    journal,
+                });
                 Ok(())
             }
             other => {
-                *guard = Some(other);
+                *guard = Some(Slot {
+                    staged: other,
+                    journal,
+                });
                 Err(PoolError::WrongStage {
                     id: id.0,
                     expected: "Counted",
@@ -373,21 +516,104 @@ impl SessionPool {
         }
     }
 
-    /// Checkpoints a session's counted core back to disk — valid from
-    /// either stage (features and fits are derived artifacts a reopening
-    /// process re-derives; the counted core is what is expensive).
+    /// Checkpoints a session back to disk — valid from either stage
+    /// (features and fits are derived artifacts a reopening process
+    /// re-derives; the counted core is what is expensive).
+    ///
+    /// When the slot's journal is based at exactly `path`, this is the
+    /// cheap path: an fsynced `Checkpoint` record — O(|ΔA|) — followed by
+    /// a fold back into the base only when the pool's
+    /// [`CompactionPolicy`] says the journal has grown enough. Otherwise
+    /// (no journal, or a foreign path) the whole counted core is written
+    /// monolithically, unlinking any stale sibling journal.
     ///
     /// # Errors
-    /// Slot errors as elsewhere; [`PoolError::Snapshot`] when the write
-    /// fails.
+    /// Slot errors as elsewhere; [`PoolError::Journal`] /
+    /// [`PoolError::Snapshot`] when a write fails.
     pub fn save(&self, id: SessionId, path: impl AsRef<Path>) -> Result<(), PoolError> {
+        let mut guard = self.slot(id)?;
+        let slot = guard.as_mut().ok_or(PoolError::Vacated(id.0))?;
+        if let Some(j) = slot
+            .journal
+            .as_mut()
+            .filter(|j| j.base_path() == path.as_ref())
+        {
+            // The lock is held across the checkpoint append on purpose:
+            // it must be ordered against this slot's write-ahead appends.
+            j.checkpoint(slot.staged.n_anchors())?;
+            if j.should_compact(self.compaction) {
+                j.compact(&slot.staged.core_bytes())?;
+            }
+            return Ok(());
+        }
+        let bytes = slot.staged.core_bytes();
+        drop(guard); // the monolithic write needs no lock
+        Ok(journal::checkpoint_monolithic(path.as_ref(), &bytes)?)
+    }
+
+    /// Checkpoints many sessions, sharding the I/O across the worker
+    /// budget, and returns one result per job **in job order** — a slot
+    /// that errors (vacated, write failure) reports its own failure
+    /// without aborting the rest of the batch, mirroring
+    /// [`SessionPool::open_many`].
+    pub fn save_many<P: AsRef<Path> + Sync>(
+        &self,
+        jobs: &[(SessionId, P)],
+    ) -> Vec<Result<(), PoolError>> {
+        let mut results = Vec::with_capacity(jobs.len());
+        run_ordered(
+            jobs.len(),
+            self.workers,
+            |i| {
+                let (id, path) = &jobs[i];
+                self.save(*id, path.as_ref())
+            },
+            |r| results.push(r),
+        );
+        results
+    }
+
+    /// Appends an fsynced `Checkpoint` record to a journaled slot — the
+    /// durability point of the write-ahead scheme — without evaluating
+    /// the compaction policy.
+    ///
+    /// # Errors
+    /// [`PoolError::Unjournaled`] when the slot has no journal; slot and
+    /// journal errors as elsewhere.
+    pub fn checkpoint(&self, id: SessionId) -> Result<(), PoolError> {
+        let mut guard = self.slot(id)?;
+        let slot = guard.as_mut().ok_or(PoolError::Vacated(id.0))?;
+        let n = slot.staged.n_anchors();
+        let j = slot.journal.as_mut().ok_or(PoolError::Unjournaled(id.0))?;
+        Ok(j.checkpoint(n)?)
+    }
+
+    /// The journal state of a slot, as
+    /// `(base_len, journal_bytes, delta_records)`, or `None` for an
+    /// unjournaled slot — lets a serving frontend watch journal growth
+    /// without touching the policy machinery (and feeds the sharded
+    /// tier's manifest v2 shard table).
+    ///
+    /// # Errors
+    /// Slot errors as elsewhere.
+    pub fn journal_stats(&self, id: SessionId) -> Result<Option<(u64, u64, u32)>, PoolError> {
         let guard = self.slot(id)?;
-        let bytes = match guard.as_ref().ok_or(PoolError::Vacated(id.0))? {
-            Staged::Counted(s) => snapshot::to_bytes(s),
-            Staged::Featurized(s) => snapshot::counted_core_to_bytes(&s.catalog, &s.counts),
-        };
-        drop(guard); // the write needs no lock; don't hold it across I/O
-        Ok(snapshot::write_atomic(path.as_ref(), &bytes)?)
+        let slot = guard.as_ref().ok_or(PoolError::Vacated(id.0))?;
+        Ok(slot
+            .journal
+            .as_ref()
+            .map(|j| (j.base_len(), j.journal_bytes(), j.delta_records())))
+    }
+
+    /// The base snapshot path a slot's journal extends, or `None` for an
+    /// unjournaled slot.
+    ///
+    /// # Errors
+    /// Slot errors as elsewhere.
+    pub fn journal_base(&self, id: SessionId) -> Result<Option<std::path::PathBuf>, PoolError> {
+        let guard = self.slot(id)?;
+        let slot = guard.as_ref().ok_or(PoolError::Vacated(id.0))?;
+        Ok(slot.journal.as_ref().map(|j| j.base_path().to_path_buf()))
     }
 
     /// True when the slot has been featurized.
@@ -396,7 +622,7 @@ impl SessionPool {
     /// Slot errors as elsewhere.
     pub fn is_featurized(&self, id: SessionId) -> Result<bool, PoolError> {
         let guard = self.slot(id)?;
-        match guard.as_ref().ok_or(PoolError::Vacated(id.0))? {
+        match &guard.as_ref().ok_or(PoolError::Vacated(id.0))?.staged {
             Staged::Counted(_) => Ok(false),
             Staged::Featurized(_) => Ok(true),
         }
@@ -408,10 +634,11 @@ impl SessionPool {
     /// Slot errors as elsewhere.
     pub fn n_anchors(&self, id: SessionId) -> Result<usize, PoolError> {
         let guard = self.slot(id)?;
-        match guard.as_ref().ok_or(PoolError::Vacated(id.0))? {
-            Staged::Counted(s) => Ok(s.n_anchors()),
-            Staged::Featurized(s) => Ok(s.n_anchors()),
-        }
+        Ok(guard
+            .as_ref()
+            .ok_or(PoolError::Vacated(id.0))?
+            .staged
+            .n_anchors())
     }
 
     /// Work counters of one session ([`AlignmentSession::stats`]).
@@ -420,7 +647,7 @@ impl SessionPool {
     /// Slot errors as elsewhere.
     pub fn stats(&self, id: SessionId) -> Result<DeltaStats, PoolError> {
         let guard = self.slot(id)?;
-        match guard.as_ref().ok_or(PoolError::Vacated(id.0))? {
+        match &guard.as_ref().ok_or(PoolError::Vacated(id.0))?.staged {
             Staged::Counted(s) => Ok(s.stats()),
             Staged::Featurized(s) => Ok(s.stats()),
         }
@@ -437,7 +664,7 @@ impl SessionPool {
         f: impl FnOnce(&AlignmentSession<Counted>) -> R,
     ) -> Result<R, PoolError> {
         let guard = self.slot(id)?;
-        match guard.as_ref().ok_or(PoolError::Vacated(id.0))? {
+        match &guard.as_ref().ok_or(PoolError::Vacated(id.0))?.staged {
             Staged::Counted(s) => Ok(f(s)),
             Staged::Featurized(_) => Err(PoolError::WrongStage {
                 id: id.0,
@@ -458,7 +685,7 @@ impl SessionPool {
         f: impl FnOnce(&AlignmentSession<Featurized>) -> R,
     ) -> Result<R, PoolError> {
         let guard = self.slot(id)?;
-        match guard.as_ref().ok_or(PoolError::Vacated(id.0))? {
+        match &guard.as_ref().ok_or(PoolError::Vacated(id.0))?.staged {
             Staged::Featurized(s) => Ok(f(s)),
             Staged::Counted(_) => Err(PoolError::WrongStage {
                 id: id.0,

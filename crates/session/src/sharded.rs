@@ -66,6 +66,7 @@
 //! assert!(!stitched.links.is_empty());
 //! ```
 
+use crate::journal::CompactionPolicy;
 use crate::pool::{PoolError, SessionId, SessionPool};
 use crate::snapshot::{self, SnapshotError};
 use crate::stages::SessionBuilder;
@@ -92,8 +93,12 @@ type CandidateJob = Mutex<Option<Vec<(UserId, UserId)>>>;
 
 /// Magic prefix of a sharded-session manifest file.
 pub const MANIFEST_MAGIC: [u8; 8] = *b"MDASHRD\0";
-/// Manifest format version this build reads and writes.
-pub const MANIFEST_VERSION: u32 = 1;
+/// Manifest format version this build writes. Version 2 appends the
+/// per-shard base+journal length table; version 1 manifests (no table)
+/// still open.
+pub const MANIFEST_VERSION: u32 = 2;
+/// The oldest manifest version this build still reads.
+pub const MANIFEST_MIN_VERSION: u32 = 1;
 /// File name of the manifest inside a [`ShardedSession::save_dir`]
 /// directory.
 pub const MANIFEST_FILE: &str = "manifest.mdashard";
@@ -116,6 +121,16 @@ pub enum ShardedError {
         /// The stage the operation required.
         expected: &'static str,
     },
+    /// Two structures that must agree have drifted apart — a user the
+    /// partition map routes to a shard is missing from that shard's id
+    /// tables, or a shard vanished mid-operation. These invariants used
+    /// to be `expect`s; as typed errors a damaged ensemble (e.g. a
+    /// hand-edited manifest whose maps disagree with the shard
+    /// snapshots) reports instead of aborting the process.
+    Inconsistent {
+        /// Which invariant broke.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ShardedError {
@@ -128,6 +143,9 @@ impl fmt::Display for ShardedError {
             ShardedError::WrongStage { expected } => {
                 write!(f, "sharded session is not in the {expected} stage")
             }
+            ShardedError::Inconsistent { what } => {
+                write!(f, "sharded session structures disagree: {what}")
+            }
         }
     }
 }
@@ -139,7 +157,7 @@ impl std::error::Error for ShardedError {
             ShardedError::Session(e) => Some(e),
             ShardedError::Pool(e) => Some(e),
             ShardedError::Manifest(e) => Some(e),
-            ShardedError::WrongStage { .. } => None,
+            ShardedError::WrongStage { .. } | ShardedError::Inconsistent { .. } => None,
         }
     }
 }
@@ -186,6 +204,11 @@ pub struct ShardedConfig {
     /// available hardware thread). Results are bit-identical at any
     /// setting.
     pub workers: usize,
+    /// When [`ShardedSession::save_dir`] folds a shard's ΔA journal back
+    /// into its base snapshot (see [`crate::journal`]). The default
+    /// bounds each shard's journal at 1 MiB, so replay-on-open stays
+    /// cheap while a typical round still persists at k·O(|ΔA_k|).
+    pub compaction: CompactionPolicy,
 }
 
 impl Default for ShardedConfig {
@@ -196,6 +219,7 @@ impl Default for ShardedConfig {
             feature_set: FeatureSet::Full,
             threading: Threading::Serial,
             workers: 0,
+            compaction: CompactionPolicy::Bytes(1 << 20),
         }
     }
 }
@@ -387,6 +411,7 @@ impl ShardedSession {
         // Build the per-shard counted sessions concurrently — each shard
         // pays a catalog count over its own sub-networks only.
         let mut pool = SessionPool::new(config.workers);
+        pool.set_compaction(config.compaction);
         let workers = pool.workers();
         let mut built: Vec<
             Result<crate::stages::AlignmentSession<crate::stages::Counted>, ShardedError>,
@@ -405,19 +430,21 @@ impl ShardedSession {
                 let (left_ids, right_ids) = &id_tables[i];
                 let sub_left = induce_subnet(left, left_ids);
                 let sub_right = induce_subnet(right, right_ids);
-                let local: Vec<AnchorEdge> =
-                    shard_anchors[i]
-                        .iter()
-                        .map(|a| {
-                            AnchorEdge::new(
-                                UserId(
-                                    sub_left.local_of(a.left).expect("routed by partition") as u32
-                                ),
-                                UserId(sub_right.local_of(a.right).expect("routed by partition")
-                                    as u32),
-                            )
-                        })
-                        .collect();
+                let mut local: Vec<AnchorEdge> = Vec::with_capacity(shard_anchors[i].len());
+                for a in &shard_anchors[i] {
+                    // Routed here by the partition map, so both endpoints
+                    // must be members of the induced sub-networks; a map
+                    // that disagrees with its own member lists reports
+                    // instead of aborting.
+                    let (Some(l), Some(r)) =
+                        (sub_left.local_of(a.left), sub_right.local_of(a.right))
+                    else {
+                        return Err(ShardedError::Inconsistent {
+                            what: "anchor routed to a shard its partition does not contain",
+                        });
+                    };
+                    local.push(AnchorEdge::new(UserId(l as u32), UserId(r as u32)));
+                }
                 SessionBuilder::new(&sub_left.net, &sub_right.net)
                     .anchors(local)
                     .feature_set(config.feature_set)
@@ -519,18 +546,25 @@ impl ShardedSession {
             self.check_endpoints(l, r)?;
         }
         let mut shard_cands: Vec<Vec<(UserId, UserId)>> = vec![Vec::new(); self.shards.len()];
+        // Row tables are staged locally and committed only after every
+        // shard featurizes, so an error mid-routing (or a failed shard)
+        // leaves the session in its pre-call state.
+        let mut shard_rows: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         let mut routes = Vec::with_capacity(candidates.len());
         let mut pruned = 0usize;
         for (gi, &(l, r)) in candidates.iter().enumerate() {
             let pair = (self.left_map.part_of(l), self.right_map.part_of(r));
             match self.shard_of_pair.get(&pair) {
                 Some(&si) => {
-                    let shard = &mut self.shards[si];
-                    let ll = shard.local_left(l).expect("partition member");
-                    let rr = shard.local_right(r).expect("partition member");
+                    let shard = &self.shards[si];
+                    let (Some(ll), Some(rr)) = (shard.local_left(l), shard.local_right(r)) else {
+                        return Err(ShardedError::Inconsistent {
+                            what: "candidate routed to a shard its partition does not contain",
+                        });
+                    };
                     routes.push(Route::Shard(si, shard_cands[si].len()));
                     shard_cands[si].push((UserId(ll), UserId(rr)));
-                    shard.rows.push(gi);
+                    shard_rows[si].push(gi);
                 }
                 None => {
                     routes.push(Route::Pruned);
@@ -545,7 +579,7 @@ impl ShardedSession {
             .into_iter()
             .map(|c| Mutex::new(Some(c)))
             .collect();
-        let mut results: Vec<Result<(), PoolError>> = Vec::with_capacity(self.shards.len());
+        let mut results: Vec<Result<(), ShardedError>> = Vec::with_capacity(self.shards.len());
         run_ordered(
             self.shards.len(),
             self.pool.workers(),
@@ -554,13 +588,18 @@ impl ShardedSession {
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .take()
-                    .expect("each job is claimed once");
-                self.pool.featurize(self.shards[i].session, cands)
+                    .ok_or(ShardedError::Inconsistent {
+                        what: "a shard's candidate batch was claimed twice",
+                    })?;
+                Ok(self.pool.featurize(self.shards[i].session, cands)?)
             },
             |r| results.push(r),
         );
         for r in results {
             r?;
+        }
+        for (shard, rows) in self.shards.iter_mut().zip(shard_rows) {
+            shard.rows = rows;
         }
         self.routes = routes;
         self.featurized = true;
@@ -610,10 +649,13 @@ impl ShardedSession {
             match self.shard_of_pair.get(&pair) {
                 Some(&si) => {
                     let shard = &self.shards[si];
-                    per_shard[si].push(AnchorEdge::new(
-                        UserId(shard.local_left(e.left).expect("partition member")),
-                        UserId(shard.local_right(e.right).expect("partition member")),
-                    ));
+                    let (Some(l), Some(r)) = (shard.local_left(e.left), shard.local_right(e.right))
+                    else {
+                        return Err(ShardedError::Inconsistent {
+                            what: "anchor routed to a shard its partition does not contain",
+                        });
+                    };
+                    per_shard[si].push(AnchorEdge::new(UserId(l), UserId(r)));
                 }
                 None => {
                     if !self.boundary_anchors.contains(e) && !boundary_new.contains(e) {
@@ -721,11 +763,14 @@ impl ShardedSession {
                 report: fit?,
             });
         }
-        Ok(self.stitch(shard_reports))
+        self.stitch(shard_reports)
     }
 
     /// Boundary-anchors-win, score-greedy, globally one-to-one stitching.
-    fn stitch(&self, shard_reports: Vec<ShardFitReport>) -> StitchedAlignment {
+    fn stitch(
+        &self,
+        shard_reports: Vec<ShardFitReport>,
+    ) -> Result<StitchedAlignment, ShardedError> {
         let mut proposed: Vec<StitchedLink> = Vec::new();
         for a in &self.boundary_anchors {
             proposed.push(StitchedLink {
@@ -749,8 +794,7 @@ impl ShardedSession {
                     // tables.
                     let (l, r) = self
                         .pool
-                        .with_featurized(shard.session, |s| s.candidates()[row])
-                        .expect("shard fitted a moment ago");
+                        .with_featurized(shard.session, |s| s.candidates()[row])?;
                     proposed.push(StitchedLink {
                         left: shard.left_ids[l.index()],
                         right: shard.right_ids[r.index()],
@@ -784,19 +828,32 @@ impl ShardedSession {
             links.push(link);
         }
         links.sort_by(|a, b| a.left.cmp(&b.left).then(a.right.cmp(&b.right)));
-        StitchedAlignment {
+        Ok(StitchedAlignment {
             links,
             dropped_conflicts: dropped,
             pruned_candidates: self.routes.iter().filter(|r| **r == Route::Pruned).count(),
             shard_reports,
-        }
+        })
     }
 
-    /// Persists the ensemble to `dir`: one snapshot per shard
-    /// (`shard_NNNN.snap`, the pool's counted-core snapshot format) plus
-    /// the CRC-checked [`MANIFEST_FILE`] holding the partition maps, the
-    /// matching and the boundary-anchor ledger. Routing and features are
-    /// derived state and are not persisted — reopen and re-featurize.
+    /// Persists the ensemble to `dir`: one base snapshot + ΔA journal
+    /// per shard (`shard_NNNN.snap` / `.snap.jrnl`) plus the CRC-checked
+    /// [`MANIFEST_FILE`] (v2) holding the partition maps, the matching,
+    /// the boundary-anchor ledger, and the per-shard base+journal length
+    /// table. Routing and features are derived state and are not
+    /// persisted — reopen and re-featurize.
+    ///
+    /// The **first** save of a shard into `dir` writes its full base and
+    /// attaches a journal; from then on anchor updates are write-ahead
+    /// appended per shard, so a later `save_dir` costs k·O(|ΔA_k|) — an
+    /// fsynced checkpoint record per shard plus the manifest — with each
+    /// journal folded back into its base per
+    /// [`ShardedConfig::compaction`].
+    ///
+    /// Every shard is attempted even when one fails (a full-disk or
+    /// vacated slot does not abort the batch); the manifest is written
+    /// only when all shards persisted, and the **first** shard error is
+    /// returned otherwise.
     ///
     /// # Errors
     /// [`ShardedError::Pool`] / [`ShardedError::Manifest`] on write
@@ -804,15 +861,29 @@ impl ShardedSession {
     pub fn save_dir(&self, dir: impl AsRef<Path>) -> Result<(), ShardedError> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(SnapshotError::Io)?;
+        let mut first_err: Option<ShardedError> = None;
         for (i, shard) in self.shards.iter().enumerate() {
-            self.pool.save(shard.session, dir.join(shard_file(i)))?;
+            let path = dir.join(shard_file(i));
+            let result = match self.pool.journal_base(shard.session) {
+                Ok(Some(base)) if base == path => self.pool.save(shard.session, &path),
+                // Unjournaled (live-built) or journaled elsewhere: write
+                // the full base here and journal from now on.
+                Ok(_) => self.pool.attach_journal(shard.session, &path),
+                Err(e) => Err(e),
+            };
+            if let Err(e) = result {
+                first_err.get_or_insert(ShardedError::Pool(e));
+            }
         }
-        let manifest = self.manifest_bytes();
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let manifest = self.manifest_bytes()?;
         snapshot::write_atomic(&dir.join(MANIFEST_FILE), &manifest)?;
         Ok(())
     }
 
-    fn manifest_bytes(&self) -> Vec<u8> {
+    fn manifest_bytes(&self) -> Result<Vec<u8>, ShardedError> {
         let mut payload = Writer::new();
         encode_map(&mut payload, &self.left_map);
         encode_map(&mut payload, &self.right_map);
@@ -830,13 +901,26 @@ impl ShardedSession {
             payload.u32(a.left.0);
             payload.u32(a.right.0);
         }
+        // v2: the per-shard base+journal length table, as of this save.
+        // Informational — integrity comes from each journal's CRC pairing
+        // with its base — but it lets ops tooling spot a shard whose
+        // files were swapped or truncated without decoding them.
+        payload.usize(self.shards.len());
+        for shard in &self.shards {
+            let (base_len, journal_len) = match self.pool.journal_stats(shard.session)? {
+                Some((b, j, _)) => (b, j),
+                None => (0, 0),
+            };
+            payload.u64(base_len);
+            payload.u64(journal_len);
+        }
         let payload = payload.into_bytes();
         let mut out = Writer::with_capacity(MANIFEST_MAGIC.len() + 4 + payload.len() + 4);
         out.bytes(&MANIFEST_MAGIC);
         out.u32(MANIFEST_VERSION);
         out.bytes(&payload);
         out.u32(crc32(&payload));
-        out.into_bytes()
+        Ok(out.into_bytes())
     }
 
     /// Restores a [`ShardedSession::save_dir`] directory: decodes the
@@ -853,9 +937,11 @@ impl ShardedSession {
     pub fn open_dir(dir: impl AsRef<Path>, config: &ShardedConfig) -> Result<Self, ShardedError> {
         let dir = dir.as_ref();
         let bytes = std::fs::read(dir.join(MANIFEST_FILE)).map_err(SnapshotError::Io)?;
-        let (left_map, right_map, matching, boundary_anchors) = decode_manifest(&bytes)?;
+        let decoded = decode_manifest(&bytes)?;
+        let (left_map, right_map, matching, boundary_anchors) = decoded.parts;
 
         let mut pool = SessionPool::new(config.workers);
+        pool.set_compaction(config.compaction);
         let paths: Vec<std::path::PathBuf> = (0..matching.pairs.len())
             .map(|i| dir.join(shard_file(i)))
             .collect();
@@ -943,7 +1029,48 @@ type ManifestParts = (
     Vec<AnchorEdge>,
 );
 
-fn decode_manifest(bytes: &[u8]) -> Result<ManifestParts, SnapshotError> {
+/// Everything a manifest decodes to, version differences normalized.
+struct DecodedManifest {
+    version: u32,
+    parts: ManifestParts,
+    /// Per-shard `(base_len, journal_len)` as of the last save — present
+    /// from manifest v2 on, empty for v1.
+    shard_lens: Vec<(u64, u64)>,
+}
+
+/// What [`manifest_info`] reports about a saved sharded-session
+/// directory without opening any shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestInfo {
+    /// The manifest's format version (1 or 2).
+    pub version: u32,
+    /// Number of shards (matched partition pairs) in the ensemble.
+    pub n_shards: usize,
+    /// Boundary-ledger anchors recorded in the manifest.
+    pub boundary_anchors: usize,
+    /// Per-shard `(base_len, journal_len)` in bytes as of the last save
+    /// — empty for a v1 manifest, which predates the table.
+    pub shard_lens: Vec<(u64, u64)>,
+}
+
+/// Decodes the manifest in `dir` and reports its version and per-shard
+/// base+journal lengths — the ops-facing view of a saved ensemble, no
+/// shard snapshot is touched.
+///
+/// # Errors
+/// [`ShardedError::Manifest`] on a missing/corrupt manifest.
+pub fn manifest_info(dir: impl AsRef<Path>) -> Result<ManifestInfo, ShardedError> {
+    let bytes = std::fs::read(dir.as_ref().join(MANIFEST_FILE)).map_err(SnapshotError::Io)?;
+    let decoded = decode_manifest(&bytes)?;
+    Ok(ManifestInfo {
+        version: decoded.version,
+        n_shards: decoded.parts.2.pairs.len(),
+        boundary_anchors: decoded.parts.3.len(),
+        shard_lens: decoded.shard_lens,
+    })
+}
+
+fn decode_manifest(bytes: &[u8]) -> Result<DecodedManifest, SnapshotError> {
     let mut r = Reader::new(bytes);
     let magic = r
         .bytes(MANIFEST_MAGIC.len())
@@ -952,7 +1079,7 @@ fn decode_manifest(bytes: &[u8]) -> Result<ManifestParts, SnapshotError> {
         return Err(SnapshotError::BadMagic);
     }
     let version = r.u32()?;
-    if version != MANIFEST_VERSION {
+    if !(MANIFEST_MIN_VERSION..=MANIFEST_VERSION).contains(&version) {
         return Err(SnapshotError::UnsupportedVersion {
             found: version,
             supported: MANIFEST_VERSION,
@@ -1012,21 +1139,43 @@ fn decode_manifest(bytes: &[u8]) -> Result<ManifestParts, SnapshotError> {
         }
         boundary_anchors.push(AnchorEdge::new(UserId(l), UserId(rr)));
     }
+    // v2 appends the per-shard (base_len, journal_len) table; v1 ends here.
+    let mut shard_lens = Vec::new();
+    if version >= 2 {
+        let n_shards = p.seq_len(16)?;
+        if n_shards != pairs.len() {
+            return Err(BinError::Malformed(format!(
+                "shard-length table has {n_shards} rows for {} matched pairs",
+                pairs.len()
+            ))
+            .into());
+        }
+        shard_lens.reserve(n_shards);
+        for _ in 0..n_shards {
+            let base_len = p.u64()?;
+            let journal_len = p.u64()?;
+            shard_lens.push((base_len, journal_len));
+        }
+    }
     if !p.is_exhausted() {
         return Err(
             BinError::Malformed(format!("{} trailing manifest bytes", p.remaining())).into(),
         );
     }
-    Ok((
-        left_map,
-        right_map,
-        PartitionMatching {
-            pairs,
-            unmatched_left,
-            unmatched_right,
-        },
-        boundary_anchors,
-    ))
+    Ok(DecodedManifest {
+        version,
+        parts: (
+            left_map,
+            right_map,
+            PartitionMatching {
+                pairs,
+                unmatched_left,
+                unmatched_right,
+            },
+            boundary_anchors,
+        ),
+        shard_lens,
+    })
 }
 
 /// Splits `total` across `weights` proportionally (largest remainder;

@@ -345,13 +345,21 @@ pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotErro
 /// the snapshot's name and concurrent saves cannot publish each other's
 /// partial writes (last completed rename wins).
 ///
+/// This is the monolithic checkpoint of the journal layer
+/// ([`crate::journal`]): the whole counted core becomes the new base and
+/// any stale sibling `<path>.jrnl` journal is unlinked, so the file
+/// stands alone. Per-round checkpointing at O(|ΔA|) instead of
+/// O(session) is what [`crate::journal::Journal`] (and the journal-aware
+/// [`crate::SessionPool`]) adds on top.
+///
 /// # Errors
 /// [`SnapshotError::Io`] when writing or renaming fails.
 pub fn save(
     session: &AlignmentSession<Counted>,
     path: impl AsRef<Path>,
 ) -> Result<(), SnapshotError> {
-    write_atomic(path.as_ref(), &to_bytes(session))
+    crate::journal::checkpoint_monolithic(path.as_ref(), &to_bytes(session))
+        .map_err(crate::journal::JournalError::demote)
 }
 
 /// Opens the snapshot at `path` as a fresh [`Counted`] session.

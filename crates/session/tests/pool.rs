@@ -1,8 +1,9 @@
 //! SessionPool integration: open-from-snapshot sharding, per-session
-//! staged state, and batch updates across the bounded worker pool.
+//! staged state, batch updates across the bounded worker pool, and the
+//! write-ahead journaling contract.
 
 use session::pool::{PoolError, SessionPool};
-use session::{snapshot, SessionBuilder};
+use session::{snapshot, CompactionPolicy, Journal, SessionBuilder};
 use std::path::PathBuf;
 
 fn world(seed: u64) -> datagen::GeneratedWorld {
@@ -61,7 +62,10 @@ fn open_many_reports_bad_paths_without_consuming_slots() {
     match &results[1] {
         Err(PoolError::OpenSnapshot { path, source }) => {
             assert_eq!(path, &missing, "error must name the offending path");
-            assert!(matches!(source, session::SnapshotError::Io(_)));
+            assert!(matches!(
+                source,
+                session::JournalError::Snapshot(session::SnapshotError::Io(_))
+            ));
         }
         other => panic!("expected OpenSnapshot error, got {other:?}"),
     }
@@ -192,4 +196,116 @@ fn unknown_ids_and_checkpointing_round_trip() {
         pool.stats(id).unwrap().anchors_applied
     );
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn updates_are_write_ahead_journaled() {
+    let w = world(67);
+    let links = w.truth().links();
+    let path = temp_path("wal");
+    let mut pool = SessionPool::new(2);
+    let id = pool.insert(counted(&w, 6));
+    pool.attach_journal(id, &path).unwrap();
+
+    // The delta record lands in the journal before it applies in memory:
+    // with no save/checkpoint at all, a fresh open already replays it.
+    pool.update_anchors(id, &links[6..10]).unwrap();
+    let n = pool.n_anchors(id).unwrap();
+    let (replayed, _) = Journal::open(&path).unwrap();
+    assert_eq!(
+        replayed.n_anchors(),
+        n,
+        "update must be journaled before it applies"
+    );
+
+    // A batch that fails validation is rejected BEFORE journaling —
+    // otherwise a poison record would fail every later replay.
+    let before = pool.journal_stats(id).unwrap().unwrap();
+    let bad = [hetnet::AnchorLink::new(
+        hetnet::UserId(9999),
+        hetnet::UserId(0),
+    )];
+    assert!(matches!(
+        pool.update_anchors(id, &bad),
+        Err(PoolError::Session(_))
+    ));
+    assert_eq!(
+        pool.journal_stats(id).unwrap().unwrap(),
+        before,
+        "a rejected batch must leave the journal untouched"
+    );
+    assert_eq!(pool.n_anchors(id).unwrap(), n);
+    let (replayed, _) = Journal::open(&path).unwrap();
+    assert_eq!(replayed.n_anchors(), n);
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(Journal::path_for(&path)).ok();
+}
+
+#[test]
+fn journaled_saves_checkpoint_and_compact_by_policy() {
+    let w = world(68);
+    let links = w.truth().links();
+    let path = temp_path("policy");
+    let mut pool = SessionPool::new(1);
+    pool.set_compaction(CompactionPolicy::EveryN(2));
+    let id = pool.insert(counted(&w, 6));
+    pool.attach_journal(id, &path).unwrap();
+
+    // First save: one delta record — below EveryN(2), checkpoint only.
+    pool.update_anchors(id, &links[6..8]).unwrap();
+    pool.save(id, &path).unwrap();
+    let (base_len0, journal_len0, recs0) = pool.journal_stats(id).unwrap().unwrap();
+    assert_eq!(
+        recs0, 1,
+        "below the policy threshold the journal keeps its deltas"
+    );
+    assert!(journal_len0 > 0);
+
+    // Second save: two delta records — the policy folds the journal.
+    pool.update_anchors(id, &links[8..10]).unwrap();
+    pool.save(id, &path).unwrap();
+    let (base_len1, journal_len1, recs1) = pool.journal_stats(id).unwrap().unwrap();
+    assert_eq!(recs1, 0, "EveryN(2) must compact at the second save");
+    assert!(
+        journal_len1 < journal_len0,
+        "compaction must shrink the journal"
+    );
+    assert!(base_len1 >= base_len0);
+
+    // The compacted base alone carries the full state.
+    let reopened = snapshot::open(&path).unwrap();
+    assert_eq!(reopened.n_anchors(), pool.n_anchors(id).unwrap());
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(Journal::path_for(&path)).ok();
+}
+
+#[test]
+fn save_many_reports_per_slot_failures() {
+    let w = world(69);
+    let mut pool = SessionPool::new(2);
+    let a = pool.insert(counted(&w, 5));
+    let b = pool.insert(counted(&w, 6));
+    let good_a = temp_path("sm-a");
+    let good_b = temp_path("sm-b");
+    let bad = std::env::temp_dir()
+        .join(format!("no-such-dir-{}", std::process::id()))
+        .join("s.snap");
+
+    let results = pool.save_many(&[(a, bad.clone()), (b, good_b.clone()), (a, good_a.clone())]);
+    assert!(
+        results[0].is_err(),
+        "unwritable path must fail its own slot"
+    );
+    assert!(results[1].is_ok());
+    assert!(
+        results[2].is_ok(),
+        "one failed save must not poison the other jobs"
+    );
+    assert_eq!(snapshot::open(&good_a).unwrap().n_anchors(), 5);
+    assert_eq!(snapshot::open(&good_b).unwrap().n_anchors(), 6);
+
+    std::fs::remove_file(&good_a).ok();
+    std::fs::remove_file(&good_b).ok();
 }

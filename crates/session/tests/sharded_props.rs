@@ -228,6 +228,122 @@ fn boundary_anchors_survive_save_open_round_trip() {
 }
 
 #[test]
+fn manifest_v2_reports_journal_lengths_and_v1_still_opens() {
+    let world = datagen::generate(&datagen::presets::tiny(53));
+    let truth_links = world.truth().links().to_vec();
+    let mut sharded = ShardedSession::with_partitions(
+        world.left(),
+        world.right(),
+        PartitionMap::trivial(world.left().n_users()),
+        PartitionMap::trivial(world.right().n_users()),
+        truth_links[..8].to_vec(),
+        &ShardedConfig::default(),
+    )
+    .unwrap();
+    let dir = temp_dir("manifest-v2");
+
+    // First save attaches per-shard journals and writes a v2 manifest.
+    sharded.save_dir(&dir).unwrap();
+    let info1 = session::manifest_info(&dir).unwrap();
+    assert_eq!(info1.version, session::sharded::MANIFEST_VERSION);
+    assert_eq!(info1.n_shards, 1);
+    assert_eq!(info1.shard_lens.len(), 1);
+    assert!(info1.shard_lens[0].0 > 0, "base length must be recorded");
+    assert!(info1.shard_lens[0].1 > 0, "journal length must be recorded");
+
+    // A later round persists at journal cost: the base is untouched,
+    // only the shard's journal grows.
+    sharded.update_anchors(&truth_links[8..12]).unwrap();
+    sharded.save_dir(&dir).unwrap();
+    let info2 = session::manifest_info(&dir).unwrap();
+    assert_eq!(
+        info2.shard_lens[0].0, info1.shard_lens[0].0,
+        "a journaled save must not rewrite the base"
+    );
+    assert!(
+        info2.shard_lens[0].1 > info1.shard_lens[0].1,
+        "a journaled save appends to the journal"
+    );
+
+    // Downgrade the manifest to v1 in place: strip the trailing
+    // per-shard length table, stamp version 1, recompute the CRC. The
+    // ensemble must still open (v1 compatibility), minus the lengths.
+    let manifest_path = dir.join(session::sharded::MANIFEST_FILE);
+    let bytes = std::fs::read(&manifest_path).unwrap();
+    let payload = &bytes[12..bytes.len() - 4];
+    let table = 8 + 16 * info2.n_shards;
+    let v1_payload = &payload[..payload.len() - table];
+    let mut v1 = Vec::new();
+    v1.extend_from_slice(&bytes[..8]);
+    v1.extend_from_slice(&1u32.to_le_bytes());
+    v1.extend_from_slice(v1_payload);
+    v1.extend_from_slice(&serde::bin::crc32(v1_payload).to_le_bytes());
+    std::fs::write(&manifest_path, &v1).unwrap();
+
+    let info_v1 = session::manifest_info(&dir).unwrap();
+    assert_eq!(info_v1.version, 1);
+    assert_eq!(info_v1.n_shards, 1);
+    assert!(info_v1.shard_lens.is_empty(), "v1 predates the table");
+    let reopened = ShardedSession::open_dir(&dir, &ShardedConfig::default()).unwrap();
+    assert_eq!(reopened.n_shards(), 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn journaled_sharded_round_trip_is_bit_stable() {
+    // Save → update → save → open: the reopened ensemble replays the
+    // shard journal to the exact state of the live one.
+    let world = datagen::generate(&datagen::presets::tiny(59));
+    let truth_links = world.truth().links().to_vec();
+    let mut sharded = ShardedSession::with_partitions(
+        world.left(),
+        world.right(),
+        PartitionMap::trivial(world.left().n_users()),
+        PartitionMap::trivial(world.right().n_users()),
+        truth_links[..8].to_vec(),
+        &ShardedConfig::default(),
+    )
+    .unwrap();
+    let dir = temp_dir("journaled-roundtrip");
+    sharded.save_dir(&dir).unwrap();
+    let update = sharded.update_anchors(&truth_links[8..12]).unwrap();
+    assert!(update.applied > 0, "trivial partition routes every anchor");
+    sharded.save_dir(&dir).unwrap();
+
+    let mut reopened = ShardedSession::open_dir(&dir, &ShardedConfig::default()).unwrap();
+    let candidates: Vec<_> = truth_links.iter().map(|l| (l.left, l.right)).collect();
+    let truth = vec![true; candidates.len()];
+    let config = ModelConfig {
+        budget: 8,
+        ..Default::default()
+    };
+    let labeled: Vec<usize> = (0..10).collect();
+    sharded.featurize(candidates.clone()).unwrap();
+    reopened.featurize(candidates).unwrap();
+    let live = sharded
+        .fit(&labeled, &VecOracle::new(truth.clone()), &config)
+        .unwrap();
+    let replayed = reopened
+        .fit(&labeled, &VecOracle::new(truth), &config)
+        .unwrap();
+    assert_eq!(
+        live.shard_reports[0].report.labels,
+        replayed.shard_reports[0].report.labels
+    );
+    assert_eq!(
+        live.shard_reports[0].report.scores,
+        replayed.shard_reports[0].report.scores
+    );
+    assert_eq!(
+        live.shard_reports[0].report.weights,
+        replayed.shard_reports[0].report.weights
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn open_dir_rejects_a_corrupt_manifest() {
     let world = datagen::generate(&datagen::presets::tiny(47));
     let sharded = ShardedSession::with_partitions(

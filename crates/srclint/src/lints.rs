@@ -286,21 +286,72 @@ const LENGTH_GUARDS: &[&str] = &["seq_len", "min", "clamp"];
 /// `with_capacity(..)`/`reserve(..)` fed by a value that came off a
 /// `Reader` scalar read with no length guard — the "1 TB length prefix"
 /// OOM the PR 5 snapshot hardening closed with `Reader::seq_len`.
-/// Per-function taint: a `let` whose initializer contains a raw read and
-/// no guard taints its binding; preallocating with a tainted binding (or
-/// with an inline raw read) is a finding.
+///
+/// Taint model (file-local, one hop per construct):
+/// * a `let` whose initializer contains a taint source and no guard
+///   taints its binding;
+/// * a file-local `fn` that returns a value and whose body contains a
+///   raw read with no guard anywhere is a *tainting helper* — calls to
+///   it are taint sources at every call site in the file;
+/// * a struct field assigned (`x.field = ..`) or initialized
+///   (`Field { field: .. }`) from an unguarded taint source is a
+///   *tainted field* — `.field` accesses (not `.field(..)` calls) are
+///   taint sources file-wide;
+/// * preallocating with a tainted binding, or with arguments containing
+///   an unguarded taint source, is a finding.
 fn unguarded_prealloc(toks: &[Tok], out: &mut Vec<RawFinding>) {
+    let tainting_fns = tainting_helper_fns(toks);
+    let tainted_fields = tainted_struct_fields(toks, &tainting_fns);
+    let sources = TaintSources {
+        fns: &tainting_fns,
+        fields: &tainted_fields,
+    };
     let mut i = 0;
     while i < toks.len() {
         if toks[i].is_ident("fn") {
             if let Some((body_open, _)) = fn_signature(toks, i) {
                 let body_close = close_delim(toks, body_open);
-                check_prealloc_region(&toks[body_open..=body_close], out);
+                check_prealloc_region(&toks[body_open..=body_close], &sources, out);
                 i = body_close + 1;
                 continue;
             }
         }
         i += 1;
+    }
+}
+
+/// The file-level taint vocabulary threaded through the per-function
+/// prealloc check: helper functions whose return value is an unguarded
+/// raw read, and struct fields assigned from one.
+struct TaintSources<'a> {
+    fns: &'a [String],
+    fields: &'a [String],
+}
+
+impl TaintSources<'_> {
+    /// True when `toks` contains any taint source: a raw `Reader` scalar
+    /// read, a call to a tainting helper, or a tainted-field access.
+    fn any_in(&self, toks: &[Tok]) -> bool {
+        if has_raw_read(toks) {
+            return true;
+        }
+        toks.iter().enumerate().any(|(k, t)| {
+            t.kind == TokKind::Ident
+                && (self.is_fn_call(toks, k, t) || self.is_field_access(toks, k, t))
+        })
+    }
+
+    fn is_fn_call(&self, toks: &[Tok], k: usize, t: &Tok) -> bool {
+        self.fns.iter().any(|f| f == &t.text) && toks.get(k + 1).is_some_and(|n| n.is_punct("("))
+    }
+
+    /// `.field` but not `.field(..)` — a method call shadows the field
+    /// namespace (`xs.len()` must not match a tainted field named `len`).
+    fn is_field_access(&self, toks: &[Tok], k: usize, t: &Tok) -> bool {
+        self.fields.iter().any(|f| f == &t.text)
+            && k > 0
+            && toks[k - 1].is_punct(".")
+            && !toks.get(k + 1).is_some_and(|n| n.is_punct("("))
     }
 }
 
@@ -319,8 +370,116 @@ fn has_guard(toks: &[Tok]) -> bool {
         .any(|t| t.kind == TokKind::Ident && LENGTH_GUARDS.contains(&t.text.as_str()))
 }
 
-fn check_prealloc_region(body: &[Tok], out: &mut Vec<RawFinding>) {
-    // Pass 1: taint `let` bindings initialized from unguarded raw reads.
+/// File-local functions whose return value is an unguarded raw read:
+/// named, with a depth-0 `->` return type, and a body that raw-reads
+/// with no guard anywhere. A helper that guards internally (`seq_len`,
+/// `min`, `clamp` anywhere in its body) is trusted.
+fn tainting_helper_fns(toks: &[Tok]) -> Vec<String> {
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") {
+            if let Some((body_open, _)) = fn_signature(toks, i) {
+                let body_close = close_delim(toks, body_open);
+                let name = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident);
+                let body = &toks[body_open..=body_close];
+                if let Some(name) = name {
+                    if returns_value(&toks[i..body_open]) && has_raw_read(body) && !has_guard(body)
+                    {
+                        fns.push(name.text.clone());
+                    }
+                }
+                i = body_close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Whether a signature slice (from `fn` to the body `{`) has a depth-0
+/// `->` — closure types in parameter position sit inside parens and
+/// don't count.
+fn returns_value(sig: &[Tok]) -> bool {
+    let mut depth = 0usize;
+    for t in sig {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "->" if depth == 0 => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+/// Struct fields fed by unguarded taint anywhere in the file, via either
+/// assignment (`x.field = <taint>;`) or struct-literal initialization
+/// (`{ field: <taint>, .. }`). One hop: a field assigned from a tainted
+/// *local binding* is not tracked (documented blind spot).
+fn tainted_struct_fields(toks: &[Tok], tainting_fns: &[String]) -> Vec<String> {
+    let direct = TaintSources {
+        fns: tainting_fns,
+        fields: &[],
+    };
+    let mut fields = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `x.field = <rhs to ;>` — `=` is its own token (`==` lexes whole).
+        if i > 0 && toks[i - 1].is_punct(".") && toks.get(i + 1).is_some_and(|n| n.is_punct("=")) {
+            let end = scan_to(toks, i + 1, ";").unwrap_or(toks.len());
+            let rhs = &toks[i + 2..end.min(toks.len())];
+            if direct.any_in(rhs) && !has_guard(rhs) {
+                fields.push(t.text.clone());
+            }
+        }
+        // `{ field: <value to , or }> }` — a struct-literal entry starts
+        // after `{` or `,`. Generic bounds and struct *patterns* also
+        // match the shape, but their value side never raw-reads.
+        if i > 0
+            && (toks[i - 1].is_punct("{") || toks[i - 1].is_punct(","))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(":"))
+        {
+            let end = field_value_end(toks, i + 2);
+            let value = &toks[i + 2..end];
+            if direct.any_in(value) && !has_guard(value) {
+                fields.push(t.text.clone());
+            }
+        }
+    }
+    fields
+}
+
+/// End of a struct-literal field value: the depth-0 `,` or the `}` that
+/// closes the enclosing literal, whichever comes first.
+fn field_value_end(toks: &[Tok], from: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(from) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "}" => {
+                    if depth == 0 {
+                        return k;
+                    }
+                    depth -= 1;
+                }
+                "," if depth == 0 => return k,
+                _ => {}
+            }
+        }
+    }
+    toks.len()
+}
+
+fn check_prealloc_region(body: &[Tok], sources: &TaintSources<'_>, out: &mut Vec<RawFinding>) {
+    // Pass 1: taint `let` bindings initialized from unguarded sources.
     let mut tainted: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < body.len() {
@@ -334,7 +493,7 @@ fn check_prealloc_region(body: &[Tok], out: &mut Vec<RawFinding>) {
                 if let Some(eq) = scan_to(body, j, "=") {
                     let end = scan_to(body, eq, ";").unwrap_or(body.len() - 1);
                     let init = &body[eq..end];
-                    if has_raw_read(init) && !has_guard(init) {
+                    if sources.any_in(init) && !has_guard(init) {
                         tainted.push(&name.text);
                     }
                     i = end;
@@ -344,7 +503,7 @@ fn check_prealloc_region(body: &[Tok], out: &mut Vec<RawFinding>) {
         }
         i += 1;
     }
-    // Pass 2: preallocations fed by taint or by an inline raw read.
+    // Pass 2: preallocations fed by taint or by an inline source.
     for (k, t) in body.iter().enumerate() {
         if t.kind == TokKind::Ident
             && (t.text == "with_capacity" || t.text == "reserve")
@@ -355,8 +514,8 @@ fn check_prealloc_region(body: &[Tok], out: &mut Vec<RawFinding>) {
             let uses_taint = args
                 .iter()
                 .any(|a| a.kind == TokKind::Ident && tainted.contains(&a.text.as_str()));
-            let inline_raw = has_raw_read(args) && !has_guard(args);
-            if uses_taint || inline_raw {
+            let inline_source = sources.any_in(args) && !has_guard(args);
+            if uses_taint || inline_source {
                 out.push(RawFinding {
                     line: t.line,
                     lint: "unguarded_prealloc",

@@ -202,10 +202,92 @@ fn b(r: &mut Reader) -> Vec<u8> {
 }
 
 #[test]
-fn taint_does_not_cross_function_boundaries() {
+fn parameters_are_not_tainted_by_unrelated_helpers() {
+    // `alloc` never *calls* `read_len`; a bare `usize` parameter carries
+    // no taint even when a tainting helper exists elsewhere in the file.
     let src = r#"
 fn read_len(r: &mut Reader) -> usize { r.u32() as usize }
 fn alloc(n: usize) -> Vec<u8> { Vec::with_capacity(n) }
+"#;
+    assert!(lints_of(src, false).is_empty());
+}
+
+#[test]
+fn taint_flows_through_helper_function_returns() {
+    let src = r#"
+fn read_len(r: &mut Reader) -> usize { r.u32() as usize }
+fn direct(r: &mut Reader) -> Vec<u8> { Vec::with_capacity(read_len(r)) }
+fn via_let(r: &mut Reader) -> Vec<u8> {
+    let n = read_len(r);
+    Vec::with_capacity(n)
+}
+"#;
+    assert_eq!(lints_of(src, false), ["unguarded_prealloc"; 2]);
+}
+
+#[test]
+fn guarded_helpers_are_trusted() {
+    // A helper that bounds its own read is not a taint source — calls
+    // to it preallocate freely.
+    let src = r#"
+fn read_len(r: &mut Reader) -> Result<usize, BinError> { r.seq_len(8) }
+fn decode(r: &mut Reader) -> Result<Vec<u64>, BinError> {
+    let n = read_len(r)?;
+    Ok(Vec::with_capacity(n))
+}
+"#;
+    assert!(lints_of(src, false).is_empty());
+}
+
+#[test]
+fn guarding_a_tainting_helper_call_site_is_clean() {
+    let src = r#"
+fn read_len(r: &mut Reader) -> usize { r.u32() as usize }
+fn decode(r: &mut Reader) -> Vec<u8> {
+    let n = read_len(r).min(1024);
+    Vec::with_capacity(n)
+}
+"#;
+    assert!(lints_of(src, false).is_empty());
+}
+
+#[test]
+fn taint_flows_through_struct_fields() {
+    // Both ways a field picks up a raw read: assignment and
+    // struct-literal initialization.
+    let src = r#"
+struct Header { n_items: usize }
+fn parse(r: &mut Reader) -> Header {
+    Header { n_items: r.u64() as usize }
+}
+fn assign(h: &mut Header, r: &mut Reader) {
+    h.n_items = r.u32() as usize;
+}
+fn alloc(h: &Header) -> Vec<u8> { Vec::with_capacity(h.n_items) }
+"#;
+    assert_eq!(lints_of(src, false), ["unguarded_prealloc"]);
+}
+
+#[test]
+fn guarded_struct_fields_are_clean() {
+    let src = r#"
+struct Header { n_items: usize }
+fn parse(r: &mut Reader) -> Result<Header, BinError> {
+    Ok(Header { n_items: r.seq_len(8)? })
+}
+fn alloc(h: &Header) -> Vec<u8> { Vec::with_capacity(h.n_items) }
+"#;
+    assert!(lints_of(src, false).is_empty());
+}
+
+#[test]
+fn method_calls_do_not_match_tainted_field_names() {
+    // A field named `len` is tainted, but `xs.len()` is a method call —
+    // the field namespace must not shadow it.
+    let src = r#"
+struct Header { len: usize }
+fn parse(h: &mut Header, r: &mut Reader) { h.len = r.u64() as usize; }
+fn copy(xs: &[u8]) -> Vec<u8> { Vec::with_capacity(xs.len()) }
 "#;
     assert!(lints_of(src, false).is_empty());
 }

@@ -1,0 +1,176 @@
+//! Measures the **multi-process serving tier** (ISSUE 10 / ROADMAP
+//! "Session checkpointing / serving"): sustained write-ahead updates/sec
+//! through a 2-worker tier and the open latency distribution (p99)
+//! clients see when slots are opened from base+journal.
+//!
+//! The serving claim under test: putting the pool behind a process
+//! boundary keeps per-request cost flat — a slot open replays
+//! base+journal once, and a sustained update stream (journal append +
+//! in-memory delta per request, compaction in the worker's background)
+//! holds a steady rate, because nothing on the hot path waits for folds
+//! or restarts. The bin spawns the tier, times `opens` slot opens
+//! one-by-one (p99 + mean), then drives `updates` update requests
+//! round-robin over the open slots through the batched path, and writes
+//! `BENCH_serve.json` for the CI perf-trajectory gate.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin serve [-- --tiny | --full]
+//! ```
+//!
+//! The worker side is this same binary re-executed with
+//! `--serve-worker` — no separate executable to ship.
+
+use eval::MetricSummary;
+use session::serve::{Coordinator, ServeConfig, WorkerSpec};
+use session::{snapshot, SessionBuilder};
+use std::time::{Duration, Instant};
+
+fn main() {
+    // Re-exec seam: the coordinator spawns this binary as its workers.
+    if std::env::args().any(|a| a == "--serve-worker") {
+        std::process::exit(session::serve::worker_main());
+    }
+
+    let opts = bench::HarnessOpts::from_args();
+    let world = opts.world();
+    let links = world.truth().links();
+    let n_train = (links.len() * 6) / 10;
+    let held_out = &links[n_train..];
+
+    let (opens, updates) = match opts.scale {
+        bench::Scale::Tiny => (12usize, 200usize),
+        bench::Scale::Quick => (24, 600),
+        bench::Scale::Full => (48, 2000),
+    };
+
+    // One shared base snapshot; every slot opens (and journals) it.
+    let dir = std::env::temp_dir().join(format!("bench-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let counted = SessionBuilder::new(world.left(), world.right())
+        .anchors(links[..n_train].to_vec())
+        .threading(metadiagram::Threading::Threads(eval::effective_threads(
+            opts.threads,
+        )))
+        .count()
+        .expect("generated networks share attribute universes");
+    // Per-slot snapshot copies: each slot owns its base+journal pair, as
+    // a real tier would.
+    let base_bytes = {
+        let first = dir.join("slot-0.snap");
+        snapshot::save(&counted, &first).expect("save base");
+        std::fs::read(&first).expect("read base")
+    };
+    let mut bases = Vec::with_capacity(opens);
+    for slot in 0..opens {
+        let path = dir.join(format!("slot-{slot}.snap"));
+        if slot > 0 {
+            std::fs::write(&path, &base_bytes).expect("copy base");
+        }
+        bases.push(path);
+    }
+
+    let exe = std::env::current_exe().expect("current exe");
+    let mut spec = WorkerSpec::new(exe);
+    spec.args.push("--serve-worker".into());
+    spec.envs
+        .push(("SERVE_COMPACT".into(), "bytes:1048576".into()));
+    let config = ServeConfig {
+        workers: 2,
+        max_in_flight: 32,
+        deadline: Duration::from_secs(60),
+        restart_limit: 1,
+    };
+    let t = Instant::now();
+    let tier = Coordinator::spawn(spec, config.clone()).expect("spawn serving tier");
+    let spawn_time = t.elapsed();
+
+    // Open latency distribution: one slot at a time, so each sample is a
+    // full request round-trip (frame encode, pipe, replay, ack).
+    let mut open_lat: Vec<Duration> = Vec::with_capacity(opens);
+    for (slot, base) in bases.iter().enumerate() {
+        let t = Instant::now();
+        let n = tier
+            .open(slot as u64, base.display().to_string())
+            .expect("open slot");
+        open_lat.push(t.elapsed());
+        assert_eq!(n as usize, counted.n_anchors(), "open must replay the base");
+    }
+    let open_mean = open_lat.iter().sum::<Duration>() / opens as u32;
+    let mut sorted = open_lat.clone();
+    sorted.sort_unstable();
+    let p99 = sorted[((opens * 99).div_ceil(100))
+        .saturating_sub(1)
+        .min(opens - 1)];
+
+    // Sustained updates: round-robin batches over every slot through the
+    // batched submission path, `batch` jobs per call — the journal grows
+    // on every request (write-ahead appends are unconditional), so
+    // background compaction gets exercised at the bytes policy above.
+    let batch = 8usize.min(updates);
+    let edges_per = 4usize.min(held_out.len().max(1));
+    let t = Instant::now();
+    let mut sent = 0usize;
+    while sent < updates {
+        let jobs: Vec<(u64, Vec<session::AnchorEdge>)> = (0..batch.min(updates - sent))
+            .map(|i| {
+                let at = (sent + i) % held_out.len().max(1);
+                let end = (at + edges_per).min(held_out.len());
+                (((sent + i) % opens) as u64, held_out[at..end].to_vec())
+            })
+            .collect();
+        let n_jobs = jobs.len();
+        for r in tier.update_many(jobs) {
+            r.expect("batched update");
+        }
+        sent += n_jobs;
+    }
+    let update_time = t.elapsed();
+    let updates_per_sec = updates as f64 / update_time.as_secs_f64().max(1e-9);
+    let per_update = update_time / updates as u32;
+
+    // Every update was write-ahead journaled on a worker; checkpoint one
+    // slot and shut the tier down cleanly before reading its journal.
+    let n_served = tier.checkpoint(0).expect("checkpoint");
+    assert_eq!(
+        tier.restarts(0) + tier.restarts(1),
+        0,
+        "bench must not trip restarts"
+    );
+    tier.shutdown().expect("clean shutdown");
+    let (replayed, _) = session::Journal::open(&bases[0]).expect("reopen slot 0");
+    assert_eq!(
+        replayed.n_anchors() as u64,
+        n_served,
+        "the journal must replay to the served state"
+    );
+
+    let no_f1 = MetricSummary {
+        mean: f64::NAN,
+        std: 0.0,
+    };
+    let mut recorder = opts.recorder("serve");
+    recorder.annotate("workers", config.workers);
+    recorder.annotate("opens", opens);
+    recorder.annotate("updates", updates);
+    recorder.annotate("edges_per_update", edges_per);
+    recorder.annotate("updates_per_sec", format!("{updates_per_sec:.1}"));
+    recorder.record("spawn", "serving-tier", no_f1, spawn_time);
+    recorder.record("open-mean", "serving-tier", no_f1, open_mean);
+    recorder.record("open-p99", "serving-tier", no_f1, p99);
+    recorder.record("update-sustained", "serving-tier", no_f1, per_update);
+    let json = recorder.write().expect("write BENCH_serve.json");
+
+    println!(
+        "serve bench — {} scale, {} workers, {} slots",
+        opts.scale.name(),
+        config.workers,
+        opens
+    );
+    println!("  tier spawn (incl. handshakes): {spawn_time:>10.2?}");
+    println!("  open latency mean:             {open_mean:>10.2?}");
+    println!("  open latency p99:              {p99:>10.2?}");
+    println!("  sustained updates:             {per_update:>10.2?}/req  ({updates_per_sec:.1}/s)");
+    println!("record: {}", json.display());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

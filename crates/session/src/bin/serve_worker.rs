@@ -1,0 +1,7 @@
+//! The serving-tier worker executable: one `SessionPool` behind the
+//! stdio frame protocol. Spawned and supervised by
+//! `session::serve::Coordinator`; not meant to be run by hand.
+
+fn main() {
+    std::process::exit(session::serve::worker_main());
+}

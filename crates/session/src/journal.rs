@@ -53,19 +53,35 @@
 //!
 //! ## Compaction
 //!
-//! [`Journal::compact`] folds the journal back into a fresh base without
-//! a crash window: it (1) appends a durable `Compacted` record naming the
-//! new base's length+CRC to the *old* journal, (2) publishes the new base
-//! atomically (tmp+rename), then (3) replaces the journal with a fresh
-//! header by rename — the old journal is unlinked only by that rename. A
-//! crash between (1) and (2) leaves the old base + old journal; the
+//! Compaction folds the journal back into a fresh base without a crash
+//! window, and is staged in three steps so the expensive one can run off
+//! the owner's lock (the pool's background compactor and the serving
+//! tier both rely on this):
+//!
+//! 1. [`Journal::begin_compact`] — under the owner's lock: appends a
+//!    durable `Compacted` record naming the new base's length+CRC to the
+//!    *old* journal and remembers the **fold mark** (the journal offset
+//!    right after the marker). Appends may continue past the mark.
+//! 2. [`Journal::stage_compacted_base`] — **no lock needed**: writes the
+//!    new base bytes to a synced temporary sibling. This is the O(base)
+//!    I/O that used to stall writers.
+//! 3. [`Journal::finish_compact`] — under the lock again, all cheap
+//!    renames: publishes the staged base over the old one, then replaces
+//!    the journal with a fresh header **plus every record appended after
+//!    the fold mark** — deltas that arrived mid-compaction stay
+//!    journaled against the new base they were not folded into.
+//!
+//! [`Journal::compact`] composes the three synchronously. Crash windows:
+//! before (3)'s base rename, the old base + old journal survive — the
 //! `Compacted` record names a base that does not exist and is ignored on
-//! replay. A crash between (2) and (3) leaves the new base + the old
-//! journal; the header mismatches, but the trailing `Compacted` record
-//! names exactly the current base, which [`Journal::open`] recognises as
-//! a completed compaction and discards the journal. When to compact is a
-//! policy knob ([`CompactionPolicy`]) so serving tiers can trade journal
-//! growth against save cost.
+//! replay, and post-mark deltas replay normally. Between the base rename
+//! and the journal replacement, the new base sits next to the old
+//! journal: the header mismatches, but [`Journal::open`] finds the
+//! `Compacted` record naming exactly the base now on disk, treats every
+//! record before it as folded, and replays only the records after it —
+//! nothing is lost in either window. When to compact is a policy knob
+//! ([`CompactionPolicy`]) so serving tiers can trade journal growth
+//! against save cost.
 
 use crate::snapshot::{self, SnapshotError};
 use crate::stages::{AlignmentSession, Counted};
@@ -295,6 +311,32 @@ fn compacted_payload(base_len: u64, base_crc: u32) -> Vec<u8> {
     w.into_bytes()
 }
 
+/// Counts the `AnchorDelta` frames in a frame-aligned byte run (a journal
+/// suffix carried across a compaction). Tolerates a torn tail — the frame
+/// after the tear is simply not counted, matching what replay would keep.
+fn count_delta_frames(frames: &[u8]) -> u32 {
+    let mut n = 0u32;
+    let mut pos = 0usize;
+    while pos + FRAME_LEN <= frames.len() {
+        let mut r = Reader::new(&frames[pos..pos + FRAME_LEN]);
+        let (Ok(payload_len), Ok(_crc)) = (r.u32(), r.u32()) else {
+            break;
+        };
+        let payload_len = payload_len as usize;
+        let Some(end) = pos
+            .checked_add(FRAME_LEN + payload_len)
+            .filter(|&e| e <= frames.len())
+        else {
+            break;
+        };
+        if frames.get(pos + FRAME_LEN) == Some(&REC_ANCHOR_DELTA) {
+            n += 1;
+        }
+        pos = end;
+    }
+    n
+}
+
 fn decode_payload(bytes: &[u8]) -> Result<Record, JournalError> {
     let mut r = Reader::new(bytes);
     let record = match r.u8()? {
@@ -377,6 +419,42 @@ pub struct Journal {
     delta_records: u32,
     base_len: u64,
     base_crc: u32,
+    /// An in-flight staged compaction (`begin_compact` called, not yet
+    /// finished); [`Journal::should_compact`] is `false` while one is
+    /// pending so policy checks cannot double-trigger.
+    pending: Option<PendingCompaction>,
+}
+
+/// Book-keeping for a compaction between [`Journal::begin_compact`] and
+/// [`Journal::finish_compact`].
+#[derive(Debug, Clone, Copy)]
+struct PendingCompaction {
+    new_len: u64,
+    new_crc: u32,
+    /// Journal offset right after the durable `Compacted` marker; records
+    /// at or past this offset were appended mid-compaction and must
+    /// survive into the fresh journal.
+    fold_mark: u64,
+}
+
+/// A new base snapshot written to a synced temporary file by
+/// [`Journal::stage_compacted_base`], waiting for
+/// [`Journal::finish_compact`] to publish it (or [`StagedBase::discard`]
+/// to drop it).
+#[derive(Debug)]
+pub struct StagedBase {
+    tmp: PathBuf,
+    new_len: u64,
+    new_crc: u32,
+}
+
+impl StagedBase {
+    /// Removes the staged temporary file without publishing it — for
+    /// callers whose compaction target disappeared (a vacated pool slot,
+    /// a re-attached journal) between staging and finishing.
+    pub fn discard(self) {
+        std::fs::remove_file(&self.tmp).ok();
+    }
 }
 
 impl fmt::Debug for Journal {
@@ -433,6 +511,7 @@ impl Journal {
             delta_records: 0,
             base_len,
             base_crc,
+            pending: None,
         })
     }
 
@@ -470,6 +549,7 @@ impl Journal {
                         delta_records: 0,
                         base_len,
                         base_crc,
+                        pending: None,
                     },
                 ));
             }
@@ -496,34 +576,72 @@ impl Journal {
         if (journal_base_len, journal_base_crc) != (base_len, base_crc) {
             // The journal extends some other base. The one legitimate way
             // here: a compaction that crashed after publishing its new
-            // base but before replacing the journal — recognisable by the
-            // trailing `Compacted` record naming exactly the base now on
-            // disk. Anything else refuses.
-            let completed = scan(&jbytes).map(|(records, _)| {
-                matches!(
-                    records.last(),
-                    Some(Record::Compacted {
-                        base_len: l,
-                        base_crc: c,
-                    }) if (*l, *c) == (base_len, base_crc)
-                )
+            // base but before replacing the journal — recognisable by a
+            // `Compacted` record naming exactly the base now on disk.
+            // Records before that marker were folded into the new base;
+            // records after it arrived mid-compaction and must replay onto
+            // it (and survive into the rebuilt journal). Anything else
+            // refuses.
+            let fold = scan(&jbytes).ok().and_then(|(records, _)| {
+                records
+                    .iter()
+                    .rposition(|r| {
+                        matches!(
+                            r,
+                            Record::Compacted {
+                                base_len: l,
+                                base_crc: c,
+                            } if (*l, *c) == (base_len, base_crc)
+                        )
+                    })
+                    .map(|idx| (records, idx))
             });
-            if completed.unwrap_or(false) {
-                let file = write_fresh(&journal_path, base_len, base_crc)?;
-                return Ok((
-                    session,
-                    Journal {
-                        base_path,
-                        journal_path,
-                        file,
-                        journal_len: HEADER_LEN as u64,
-                        delta_records: 0,
-                        base_len,
-                        base_crc,
-                    },
-                ));
+            let Some((records, idx)) = fold else {
+                return Err(JournalError::BaseMismatch { path: journal_path });
+            };
+            let mut fresh = header_bytes(base_len, base_crc);
+            let mut delta_records = 0u32;
+            for record in &records[idx + 1..] {
+                match record {
+                    Record::AnchorDelta(edges) => {
+                        session.update_anchors(edges)?;
+                        delta_records += 1;
+                        fresh.extend_from_slice(&frame(&delta_payload(edges)));
+                    }
+                    Record::Checkpoint { n_anchors } => {
+                        let found = session.n_anchors() as u64;
+                        if *n_anchors != found {
+                            return Err(JournalError::Inconsistent {
+                                expected: *n_anchors,
+                                found,
+                            });
+                        }
+                        fresh.extend_from_slice(&frame(&checkpoint_payload(*n_anchors)));
+                    }
+                    // A later aborted fold's marker: inert, but keep it so
+                    // the rebuilt journal stays a faithful suffix copy.
+                    Record::Compacted { base_len, base_crc } => {
+                        fresh.extend_from_slice(&frame(&compacted_payload(*base_len, *base_crc)));
+                    }
+                }
             }
-            return Err(JournalError::BaseMismatch { path: journal_path });
+            snapshot::write_atomic(&journal_path, &fresh)?;
+            let file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&journal_path)?;
+            return Ok((
+                session,
+                Journal {
+                    base_path,
+                    journal_path,
+                    file,
+                    journal_len: fresh.len() as u64,
+                    delta_records,
+                    base_len,
+                    base_crc,
+                    pending: None,
+                },
+            ));
         }
 
         let (records, valid_len) = scan(&jbytes)?;
@@ -567,6 +685,7 @@ impl Journal {
                 delta_records,
                 base_len,
                 base_crc,
+                pending: None,
             },
         ))
     }
@@ -604,34 +723,168 @@ impl Journal {
     /// Folds the journal back into a fresh base: publishes `base_bytes`
     /// as the new base snapshot and resets the journal to an empty one,
     /// with no crash window (see the compaction protocol in the
-    /// [module docs](self)).
+    /// [module docs](self)). This is [`Journal::begin_compact`] →
+    /// [`Journal::stage_compacted_base`] → [`Journal::finish_compact`]
+    /// composed synchronously; background compactors call the three
+    /// steps themselves so the staging I/O runs off the owner's lock.
     ///
     /// # Errors
     /// [`JournalError::Io`] / [`JournalError::Snapshot`] when a write
     /// fails; the old base+journal pair stays replayable in that case.
     pub fn compact(&mut self, base_bytes: &[u8]) -> Result<(), JournalError> {
+        self.begin_compact(base_bytes)?;
+        let staged = match Journal::stage_compacted_base(&self.base_path, base_bytes) {
+            Ok(staged) => staged,
+            Err(e) => {
+                // The marker is durable but names a base that will never
+                // land — inert on replay. Clearing the pending flag lets
+                // a later policy check retry.
+                self.pending = None;
+                return Err(e);
+            }
+        };
+        self.finish_compact(staged)
+    }
+
+    /// Step 1 of a staged compaction (see the [module docs](self)):
+    /// appends the durable `Compacted` intent marker naming the base
+    /// `base_bytes` will become, fsyncs it, and remembers the fold mark.
+    /// Cheap enough to run under the owner's lock; records appended after
+    /// this call are preserved by [`Journal::finish_compact`].
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] when the marker append or sync fails (the
+    /// journal stays exactly as it was, plus at most a torn tail).
+    /// Calling again while a compaction is already pending is refused as
+    /// [`JournalError::Decode`] — one fold at a time per journal.
+    pub fn begin_compact(&mut self, base_bytes: &[u8]) -> Result<(), JournalError> {
+        if self.pending.is_some() {
+            return Err(JournalError::Decode(BinError::Malformed(
+                "a staged compaction is already pending on this journal".into(),
+            )));
+        }
         let new_len = base_bytes.len() as u64;
         let new_crc = crc32(base_bytes);
-        // (1) Durable intent marker in the old journal.
         let framed = frame(&compacted_payload(new_len, new_crc));
         self.file.write_all(&framed)?;
         self.file.sync_data()?;
         self.journal_len += framed.len() as u64;
-        // (2) Publish the new base atomically.
-        snapshot::write_atomic(&self.base_path, base_bytes)?;
-        // (3) Replace the journal with a fresh header; the rename is what
-        // unlinks the old journal.
-        self.file = write_fresh(&self.journal_path, new_len, new_crc)?;
-        self.base_len = new_len;
-        self.base_crc = new_crc;
-        self.journal_len = HEADER_LEN as u64;
-        self.delta_records = 0;
+        self.pending = Some(PendingCompaction {
+            new_len,
+            new_crc,
+            fold_mark: self.journal_len,
+        });
+        Ok(())
+    }
+
+    /// True when [`Journal::begin_compact`] has run without a matching
+    /// [`Journal::finish_compact`] yet.
+    pub fn compaction_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Drops an in-flight staged compaction without publishing it — the
+    /// durable marker it wrote names a base that never lands, which
+    /// replay ignores. Policy checks become live again.
+    pub fn abort_compact(&mut self) {
+        self.pending = None;
+    }
+
+    /// Step 2 of a staged compaction: writes `base_bytes` to a synced
+    /// temporary sibling of `base_path`. An associated function on
+    /// purpose — it touches neither the journal nor the base, so a
+    /// background job runs it **without** holding the journal owner's
+    /// lock while appends continue.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] when the write or sync fails (the temporary
+    /// file is removed).
+    pub fn stage_compacted_base(
+        base_path: &Path,
+        base_bytes: &[u8],
+    ) -> Result<StagedBase, JournalError> {
+        static STAGE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = STAGE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut tmp = base_path.as_os_str().to_owned();
+        tmp.push(format!(".cstage.{}-{seq}", std::process::id()));
+        let tmp = PathBuf::from(tmp);
+        let write_synced = || -> std::io::Result<()> {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(base_bytes)?;
+            file.sync_all()
+        };
+        if let Err(e) = write_synced() {
+            std::fs::remove_file(&tmp).ok();
+            return Err(JournalError::Io(e));
+        }
+        Ok(StagedBase {
+            tmp,
+            new_len: base_bytes.len() as u64,
+            new_crc: crc32(base_bytes),
+        })
+    }
+
+    /// Step 3 of a staged compaction, under the owner's lock again: all
+    /// renames. Publishes the staged base over the old one, then replaces
+    /// the journal with a fresh header **plus the records appended after
+    /// the fold mark** — mid-compaction deltas stay journaled against the
+    /// new base they were not folded into. Both crash windows recover on
+    /// the next [`Journal::open`] (see the [module docs](self)).
+    ///
+    /// # Errors
+    /// [`JournalError::Decode`] when `staged` does not match the pending
+    /// compaction (the staged file is discarded, the pending fold stays
+    /// armed); [`JournalError::Io`] / [`JournalError::Snapshot`] when a
+    /// rename or the journal rewrite fails — the pending flag is cleared
+    /// and the on-disk pair stays recoverable by open.
+    pub fn finish_compact(&mut self, staged: StagedBase) -> Result<(), JournalError> {
+        let Some(pending) = self.pending else {
+            staged.discard();
+            return Err(JournalError::Decode(BinError::Malformed(
+                "finish_compact without a pending begin_compact".into(),
+            )));
+        };
+        if (staged.new_len, staged.new_crc) != (pending.new_len, pending.new_crc) {
+            staged.discard();
+            return Err(JournalError::Decode(BinError::Malformed(
+                "staged base does not match the pending compaction marker".into(),
+            )));
+        }
+        // Records appended after the fold mark (mid-compaction traffic)
+        // must survive into the fresh journal.
+        let result = (|| -> Result<(u64, u32), JournalError> {
+            let jbytes = std::fs::read(&self.journal_path)?;
+            let fold = (pending.fold_mark as usize).min(jbytes.len());
+            let suffix = jbytes[fold..].to_vec();
+            drop(jbytes);
+            std::fs::rename(&staged.tmp, &self.base_path)?;
+            let mut fresh = header_bytes(pending.new_len, pending.new_crc);
+            fresh.extend_from_slice(&suffix);
+            snapshot::write_atomic(&self.journal_path, &fresh)?;
+            self.file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&self.journal_path)?;
+            Ok((fresh.len() as u64, count_delta_frames(&suffix)))
+        })();
+        // Pending clears on every outcome: on failure the disk pair is
+        // recovered by the next open, and leaving the flag set would
+        // block all future compactions of this journal.
+        self.pending = None;
+        let (journal_len, delta_records) = result?;
+        self.base_len = pending.new_len;
+        self.base_crc = pending.new_crc;
+        self.journal_len = journal_len;
+        self.delta_records = delta_records;
         Ok(())
     }
 
     /// True when `policy` says the journal has grown enough to fold back
-    /// into its base.
+    /// into its base. Always false while a staged compaction is pending —
+    /// policy checks cannot double-trigger a fold.
     pub fn should_compact(&self, policy: CompactionPolicy) -> bool {
+        if self.pending.is_some() {
+            return false;
+        }
         match policy {
             CompactionPolicy::Never => false,
             CompactionPolicy::EveryN(n) => n > 0 && self.delta_records >= n,

@@ -49,7 +49,11 @@
 //!   opened from snapshots, per-slot staged state, batch updates fanned
 //!   out over a bounded worker budget;
 //! * [`workers`] is the panic-safe, order-preserving fan-out primitive
-//!   the pool (and `eval::multi`) shard with.
+//!   the pool (and `eval::multi`) shard with;
+//! * [`serve`] puts pools behind process boundaries — a coordinator
+//!   shards slots across N worker processes over a framed pipe
+//!   protocol, with write-ahead journaling, deadlines, and
+//!   restart-and-replay from base+journal when a worker dies.
 //!
 //! ## Example
 //!
@@ -96,6 +100,7 @@
 mod active;
 pub mod journal;
 pub mod pool;
+pub mod serve;
 pub mod sharded;
 pub mod snapshot;
 mod stages;
@@ -105,6 +110,7 @@ pub use active::{ActiveRunReport, RecountPolicy, RoundStat};
 pub use journal::{CompactionPolicy, Journal, JournalError};
 pub use metadiagram::delta::{CountMerge, StackRegions};
 pub use pool::{PoolError, SessionPool};
+pub use serve::{Coordinator, ServeConfig, ServeError, WorkerSpec};
 pub use sharded::{
     manifest_info, ManifestInfo, RoutingSummary, ShardFitReport, ShardedConfig, ShardedError,
     ShardedSession, ShardedUpdate, StitchedAlignment, StitchedLink,

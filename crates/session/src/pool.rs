@@ -42,9 +42,25 @@
 //! torn tail, which the next open truncates. A no-op batch (all edges
 //! already known) is journaled too and replays as the same no-op —
 //! replayed stats stay bit-equal. [`SessionPool::save`] on a journaled
-//! slot appends a fsynced `Checkpoint` record — O(|ΔA|), not O(session)
-//! — and folds the journal back into its base per the pool's
-//! [`CompactionPolicy`] ([`SessionPool::set_compaction`]).
+//! slot appends a fsynced `Checkpoint` record — O(|ΔA|), not O(session).
+//!
+//! ## Background compaction
+//!
+//! When the pool's [`CompactionPolicy`] ([`SessionPool::set_compaction`])
+//! says a journal has grown enough, [`SessionPool::save`] /
+//! [`SessionPool::checkpoint`] no longer fold it inline — the old
+//! behavior held the slot lock across an O(session) base write, stalling
+//! every concurrent update on that slot for the full compaction. Instead
+//! the caller runs only [`Journal::begin_compact`] under the lock (a
+//! fsynced marker append, O(1)) and hands the fold to a single shared
+//! **compactor thread**, which stages the new base **off-lock** while
+//! updates keep flowing (they land after the fold mark and survive), then
+//! re-takes the lock for [`Journal::finish_compact`] — cheap renames.
+//! [`SessionPool::flush_compactions`] drains the queue and reports
+//! per-slot failures; a failed fold leaves the base+journal pair exactly
+//! as durable as before and re-arms the policy. Serving tiers that never
+//! call `save` trigger the same machinery via
+//! [`SessionPool::maybe_compact`].
 //!
 //! Fitted stages stay out of the pool by design: a fit is a terminal,
 //! read-only artifact ([`AlignmentSession::into_report`]); serving keeps
@@ -80,8 +96,9 @@ use crate::{AnchorEdge, SessionError};
 use hetnet::UserId;
 use metadiagram::DeltaStats;
 use std::fmt;
-use std::path::Path;
-use std::sync::{Mutex, MutexGuard};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Opaque handle to a pooled session. Ids are dense indices in insertion
 /// order and are never reused within a pool's lifetime.
@@ -253,12 +270,131 @@ impl Slot {
     }
 }
 
+/// One fold handed to the compactor thread: the slot to finish on, the
+/// base bytes captured under the lock at `begin_compact` time (the state
+/// at the fold mark — capturing later would fold in post-mark deltas the
+/// suffix replays again), and where to stage them.
+struct CompactionJob {
+    slot: Arc<Mutex<Option<Slot>>>,
+    index: usize,
+    base_path: PathBuf,
+    bytes: Vec<u8>,
+}
+
+/// Shared state between the pool and its compactor thread.
+struct CompactorState {
+    /// Folds enqueued but not yet finished; guarded by `pending`'s lock,
+    /// signalled through `done`.
+    pending: Mutex<usize>,
+    done: Condvar,
+    /// Failed folds, drained by [`SessionPool::flush_compactions`].
+    errors: Mutex<Vec<(usize, JournalError)>>,
+    /// Test-only stall (milliseconds) between staging and finishing, so
+    /// regression tests can prove updates flow mid-fold.
+    stall_ms: AtomicU64,
+}
+
+/// The lazily-spawned background compactor: one thread per pool, fed
+/// over an mpsc channel, joined on pool drop.
+struct Compactor {
+    tx: mpsc::Sender<CompactionJob>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    state: Arc<CompactorState>,
+}
+
+impl Compactor {
+    fn spawn() -> Compactor {
+        let (tx, rx) = mpsc::channel::<CompactionJob>();
+        let state = Arc::new(CompactorState {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            errors: Mutex::new(Vec::new()),
+            stall_ms: AtomicU64::new(0),
+        });
+        let worker_state = Arc::clone(&state);
+        // srclint: allow(raw_spawn, reason = "single long-lived service thread owned by the pool, joined in Drop; run_ordered is for bounded fan-out, not a resident consumer loop")
+        let handle = std::thread::spawn(move || {
+            while let Ok(job) = rx.recv() {
+                let result = run_compaction(&job, &worker_state);
+                if let Err(e) = result {
+                    worker_state
+                        .errors
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push((job.index, e));
+                }
+                let mut pending = worker_state
+                    .pending
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                *pending = pending.saturating_sub(1);
+                drop(pending);
+                worker_state.done.notify_all();
+            }
+        });
+        Compactor {
+            tx,
+            handle: Some(handle),
+            state,
+        }
+    }
+}
+
+/// The compactor thread's half of one fold: stage off-lock, optionally
+/// stall (tests), then finish under the slot lock. A slot that was
+/// vacated or re-journaled in the meantime discards the staged base — the
+/// old pair is still durable.
+fn run_compaction(job: &CompactionJob, state: &CompactorState) -> Result<(), JournalError> {
+    let staged = Journal::stage_compacted_base(&job.base_path, &job.bytes);
+    let stall = state.stall_ms.load(Ordering::Relaxed);
+    if stall > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(stall));
+    }
+    let mut guard = job.slot.lock().unwrap_or_else(PoisonError::into_inner);
+    let journal = guard
+        .as_mut()
+        .and_then(|s| s.journal.as_mut())
+        .filter(|j| j.compaction_pending() && j.base_path() == job.base_path);
+    match (staged, journal) {
+        (Ok(staged), Some(j)) => j.finish_compact(staged),
+        (Ok(staged), None) => {
+            staged.discard();
+            Ok(())
+        }
+        (Err(e), journal) => {
+            // Staging failed: drop the intent so the policy can retry at
+            // the next durability point.
+            if let Some(j) = journal {
+                j.abort_compact();
+            }
+            Err(e)
+        }
+    }
+}
+
 /// A bounded shard manager over many [`AlignmentSession`]s; see the
 /// [module docs](self).
 pub struct SessionPool {
-    slots: Vec<Mutex<Option<Slot>>>,
+    slots: Vec<Arc<Mutex<Option<Slot>>>>,
     workers: usize,
     compaction: CompactionPolicy,
+    compactor: Mutex<Option<Compactor>>,
+}
+
+impl Drop for SessionPool {
+    fn drop(&mut self) {
+        let compactor = self
+            .compactor
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(mut c) = compactor {
+            drop(c.tx); // closes the channel; the thread drains and exits
+            if let Some(handle) = c.handle.take() {
+                handle.join().ok();
+            }
+        }
+    }
 }
 
 impl fmt::Debug for SessionPool {
@@ -290,6 +426,7 @@ impl SessionPool {
             slots: Vec::new(),
             workers,
             compaction: CompactionPolicy::Never,
+            compactor: Mutex::new(None),
         }
     }
 
@@ -320,7 +457,7 @@ impl SessionPool {
     }
 
     fn push(&mut self, slot: Slot) -> SessionId {
-        self.slots.push(Mutex::new(Some(slot)));
+        self.slots.push(Arc::new(Mutex::new(Some(slot))));
         SessionId(self.slots.len() - 1)
     }
 
@@ -521,29 +658,37 @@ impl SessionPool {
     /// re-derives; the counted core is what is expensive).
     ///
     /// When the slot's journal is based at exactly `path`, this is the
-    /// cheap path: an fsynced `Checkpoint` record — O(|ΔA|) — followed by
-    /// a fold back into the base only when the pool's
-    /// [`CompactionPolicy`] says the journal has grown enough. Otherwise
-    /// (no journal, or a foreign path) the whole counted core is written
-    /// monolithically, unlinking any stale sibling journal.
+    /// cheap path: an fsynced `Checkpoint` record — O(|ΔA|) — and, when
+    /// the pool's [`CompactionPolicy`] says the journal has grown enough,
+    /// a **background** fold (see the module docs — the slot lock is
+    /// released before the O(session) staging I/O runs; await it with
+    /// [`SessionPool::flush_compactions`]). Otherwise (no journal, or a
+    /// foreign path) the whole counted core is written monolithically,
+    /// unlinking any stale sibling journal.
     ///
     /// # Errors
     /// Slot errors as elsewhere; [`PoolError::Journal`] /
     /// [`PoolError::Snapshot`] when a write fails.
     pub fn save(&self, id: SessionId, path: impl AsRef<Path>) -> Result<(), PoolError> {
+        let arc = Arc::clone(
+            self.slots
+                .get(id.0)
+                .ok_or(PoolError::UnknownSession(id.0))?,
+        );
         let mut guard = self.slot(id)?;
         let slot = guard.as_mut().ok_or(PoolError::Vacated(id.0))?;
-        if let Some(j) = slot
+        if slot
             .journal
-            .as_mut()
-            .filter(|j| j.base_path() == path.as_ref())
+            .as_ref()
+            .is_some_and(|j| j.base_path() == path.as_ref())
         {
             // The lock is held across the checkpoint append on purpose:
             // it must be ordered against this slot's write-ahead appends.
-            j.checkpoint(slot.staged.n_anchors())?;
-            if j.should_compact(self.compaction) {
-                j.compact(&slot.staged.core_bytes())?;
+            let n = slot.staged.n_anchors();
+            if let Some(j) = slot.journal.as_mut() {
+                j.checkpoint(n)?;
             }
+            self.enqueue_if_due(id, slot, &arc)?;
             return Ok(());
         }
         let bytes = slot.staged.core_bytes();
@@ -574,18 +719,159 @@ impl SessionPool {
     }
 
     /// Appends an fsynced `Checkpoint` record to a journaled slot — the
-    /// durability point of the write-ahead scheme — without evaluating
-    /// the compaction policy.
+    /// durability point of the write-ahead scheme — and enqueues a
+    /// background fold when the pool's [`CompactionPolicy`] is due
+    /// (exactly like [`SessionPool::save`]'s journaled path).
     ///
     /// # Errors
     /// [`PoolError::Unjournaled`] when the slot has no journal; slot and
     /// journal errors as elsewhere.
     pub fn checkpoint(&self, id: SessionId) -> Result<(), PoolError> {
+        let arc = Arc::clone(
+            self.slots
+                .get(id.0)
+                .ok_or(PoolError::UnknownSession(id.0))?,
+        );
         let mut guard = self.slot(id)?;
         let slot = guard.as_mut().ok_or(PoolError::Vacated(id.0))?;
         let n = slot.staged.n_anchors();
         let j = slot.journal.as_mut().ok_or(PoolError::Unjournaled(id.0))?;
-        Ok(j.checkpoint(n)?)
+        j.checkpoint(n)?;
+        self.enqueue_if_due(id, slot, &arc)?;
+        Ok(())
+    }
+
+    /// Evaluates the pool's [`CompactionPolicy`] against one journaled
+    /// slot and enqueues a background fold when due. Returns whether a
+    /// fold was enqueued. The serving tier calls this after update
+    /// batches so journals are bounded even when nobody calls
+    /// [`SessionPool::save`].
+    ///
+    /// # Errors
+    /// [`PoolError::Unjournaled`] when the slot has no journal; slot and
+    /// journal errors as elsewhere.
+    pub fn maybe_compact(&self, id: SessionId) -> Result<bool, PoolError> {
+        let arc = Arc::clone(
+            self.slots
+                .get(id.0)
+                .ok_or(PoolError::UnknownSession(id.0))?,
+        );
+        let mut guard = self.slot(id)?;
+        let slot = guard.as_mut().ok_or(PoolError::Vacated(id.0))?;
+        if slot.journal.is_none() {
+            return Err(PoolError::Unjournaled(id.0));
+        }
+        self.enqueue_if_due(id, slot, &arc)
+    }
+
+    /// Under the slot lock: if the policy says the journal is due, run
+    /// [`Journal::begin_compact`] (the O(1) durable marker) and hand the
+    /// O(session) staging to the compactor thread.
+    fn enqueue_if_due(
+        &self,
+        id: SessionId,
+        slot: &mut Slot,
+        arc: &Arc<Mutex<Option<Slot>>>,
+    ) -> Result<bool, PoolError> {
+        let due = slot
+            .journal
+            .as_ref()
+            .is_some_and(|j| j.should_compact(self.compaction));
+        if !due {
+            return Ok(false);
+        }
+        let bytes = slot.staged.core_bytes();
+        let Some(j) = slot.journal.as_mut() else {
+            return Ok(false);
+        };
+        j.begin_compact(&bytes)?;
+        let job = CompactionJob {
+            slot: Arc::clone(arc),
+            index: id.0,
+            base_path: j.base_path().to_path_buf(),
+            bytes,
+        };
+        let mut compactor = self
+            .compactor
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let c = compactor.get_or_insert_with(Compactor::spawn);
+        *c.state
+            .pending
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) += 1;
+        if c.tx.send(job).is_err() {
+            // The compactor thread is gone (it only exits when the
+            // channel closes, so this is a should-not-happen guard):
+            // un-arm the fold so the policy can retry, and undo the
+            // pending bump.
+            j.abort_compact();
+            let mut pending = c
+                .state
+                .pending
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *pending = pending.saturating_sub(1);
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// Blocks until every enqueued background fold has finished and
+    /// returns the failures, one `(slot, error)` pair each — empty means
+    /// all folds landed. A failed fold is not fatal: the base+journal
+    /// pair is exactly as durable as before the attempt and the policy
+    /// re-arms at the next durability point.
+    pub fn flush_compactions(&self) -> Vec<(SessionId, JournalError)> {
+        let compactor = self
+            .compactor
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let Some(c) = compactor.as_ref() else {
+            return Vec::new();
+        };
+        let state = Arc::clone(&c.state);
+        drop(compactor); // don't hold the spawn lock while waiting
+        let mut pending = state.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        while *pending > 0 {
+            pending = state
+                .done
+                .wait(pending)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(pending);
+        let mut errors = state.errors.lock().unwrap_or_else(PoisonError::into_inner);
+        errors.drain(..).map(|(i, e)| (SessionId(i), e)).collect()
+    }
+
+    /// Number of background folds enqueued but not yet finished.
+    pub fn compaction_backlog(&self) -> usize {
+        let compactor = self
+            .compactor
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        compactor
+            .as_ref()
+            .map(|c| {
+                *c.state
+                    .pending
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Test hook: stalls the compactor for `ms` milliseconds between
+    /// staging and finishing each fold, so tests can prove updates flow
+    /// while a fold is in flight. Not part of the serving API.
+    #[doc(hidden)]
+    pub fn set_compaction_test_stall(&self, ms: u64) {
+        let mut compactor = self
+            .compactor
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let c = compactor.get_or_insert_with(Compactor::spawn);
+        c.state.stall_ms.store(ms, Ordering::Relaxed);
     }
 
     /// The journal state of a slot, as

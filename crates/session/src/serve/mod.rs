@@ -1,0 +1,43 @@
+//! # serve — the multi-process serving tier over the journal
+//!
+//! [`pool`](crate::pool) serves many sessions inside one process; this
+//! module puts that pool behind a **process boundary** and runs N of
+//! them, because at serving scale the failure domain has to be a
+//! process: a wedged or dying worker must not take the tier with it,
+//! and recovery must come from durable state, not from heroics inside
+//! the crashed address space.
+//!
+//! The tier is three pieces, one per submodule:
+//!
+//! * [`protocol`] — the length-prefixed, CRC-framed request/response
+//!   codec both sides speak over stdin/stdout pipes. Frames carry a
+//!   client-chosen `seq` so responses can be matched (and replayed)
+//!   out of lockstep; torn frames mean *wait*, corrupt frames mean
+//!   *tear the stream down* — never panic, never over-allocate.
+//! * [`worker`] — the child process: one [`SessionPool`](crate::pool::SessionPool)
+//!   behind a stdio loop. Updates are write-ahead journaled before the
+//!   ack, compaction is handed to the pool's background compactor, and
+//!   a `SERVE_FAULT` environment knob lets tests make the worker exit
+//!   or stall at an exact request index.
+//! * [`coordinator`] — the parent: spawns workers, routes `slot % N`,
+//!   batches, bounds in-flight work, enforces per-request deadlines,
+//!   and on worker death restarts it and **replays** — reopening every
+//!   slot from its base+journal (bit-equal by the journal contract)
+//!   and resubmitting unacknowledged requests.
+//!
+//! The durability story is deliberately boring: the coordinator never
+//! holds state that matters. Everything a worker knows is reconstructible
+//! from the base snapshot + journal on disk, which is exactly what the
+//! fault-injection tests prove — kill a worker mid-stream, and the
+//! restarted one answers bit-equal to a run that was never interrupted.
+
+pub mod coordinator;
+pub mod protocol;
+pub mod worker;
+
+pub use coordinator::{Coordinator, ServeConfig, ServeError, WorkerSpec};
+pub use protocol::{
+    decode_frame, decode_request, decode_response, encode_request, encode_response, ErrorCode,
+    ProtocolError, Request, Response, MAX_FRAME_LEN,
+};
+pub use worker::{worker_main, Fault, FAULT_EXIT_CODE};

@@ -1,0 +1,532 @@
+//! The serving tier's wire protocol: length-prefixed, CRC-framed
+//! request/response messages over a byte stream.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! frame    len u32 | crc u32(payload) | payload
+//! payload  seq u64 | kind u8 | body
+//! ```
+//!
+//! The same frame shape as the ΔA journal (`session::journal`), for the
+//! same reason: a reader over a pipe sees arbitrary prefixes of the
+//! stream, and the length prefix + payload CRC split every anomaly into
+//! exactly two cases — **incomplete** (wait for more bytes; never an
+//! error) and **corrupt** (refuse with a typed [`ProtocolError`]; never a
+//! panic, never a guess). [`decode_frame`] is that split: `Ok(None)`
+//! means wait, `Err` means the stream is unrecoverable.
+//!
+//! `len` is bounded by [`MAX_FRAME_LEN`] *before* any allocation, and
+//! every variable-length body field decodes through the vendored
+//! reader's `seq_len` guard — a hostile or bit-rotted length prefix is
+//! refused while it is still just an integer.
+//!
+//! The `seq` is a per-connection correlation id chosen by the requester;
+//! responses echo it verbatim, which is what lets the coordinator keep
+//! many requests in flight per worker and resubmit the undone ones —
+//! same seq — after a restart. Seq `0` is reserved for the worker's
+//! unsolicited [`Response::Hello`] handshake.
+
+use crate::AnchorEdge;
+use hetnet::UserId;
+use serde::bin::{crc32, Error as BinError, Reader, Writer};
+use std::fmt;
+
+/// Hard upper bound on a frame's payload length (64 MiB). A `len` above
+/// this is refused before any buffering — the guard that keeps a corrupt
+/// or hostile length prefix from ballooning the reader's buffer.
+pub const MAX_FRAME_LEN: u32 = 1 << 26;
+
+/// Frame overhead: the `len` + `crc` prefix.
+pub const FRAME_OVERHEAD: usize = 8;
+
+const REQ_OPEN: u8 = 1;
+const REQ_UPDATE: u8 = 2;
+const REQ_QUERY: u8 = 3;
+const REQ_ALIGN: u8 = 4;
+const REQ_CHECKPOINT: u8 = 5;
+const REQ_SHUTDOWN: u8 = 6;
+
+const RESP_OPENED: u8 = 1;
+const RESP_UPDATED: u8 = 2;
+const RESP_SCORES: u8 = 3;
+const RESP_ALIGNED: u8 = 4;
+const RESP_CHECKPOINTED: u8 = 5;
+const RESP_SHUTTING_DOWN: u8 = 6;
+const RESP_ERROR: u8 = 7;
+const RESP_HELLO: u8 = 8;
+
+/// A malformed or corrupt frame — the stream cannot be trusted past it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The frame's declared payload length exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// The declared payload length.
+        declared: u32,
+    },
+    /// The payload failed its CRC — bit damage between the peers.
+    Checksum {
+        /// CRC the frame header promised.
+        expected: u32,
+        /// CRC the payload actually has.
+        found: u32,
+    },
+    /// The payload decoded structurally wrong (truncated field, bad
+    /// length prefix, trailing bytes) despite a matching CRC.
+    Decode(BinError),
+    /// The payload's kind byte names no known message.
+    UnknownKind(u8),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::FrameTooLarge { declared } => write!(
+                f,
+                "frame declares a {declared}-byte payload (max {MAX_FRAME_LEN})"
+            ),
+            ProtocolError::Checksum { expected, found } => write!(
+                f,
+                "frame payload checksum mismatch (expected {expected:#010x}, found {found:#010x})"
+            ),
+            ProtocolError::Decode(e) => write!(f, "frame payload: {e}"),
+            ProtocolError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BinError> for ProtocolError {
+    fn from(e: BinError) -> Self {
+        ProtocolError::Decode(e)
+    }
+}
+
+/// One client request to a serving worker. Slots are coordinator-chosen
+/// dense ids; the worker maps them to its pool sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open the base snapshot (+ journal) at `path` into slot `slot`.
+    Open {
+        /// Coordinator-assigned slot id.
+        slot: u64,
+        /// Path of the base snapshot on the worker's filesystem.
+        path: String,
+    },
+    /// Apply confirmed anchors to a slot, write-ahead through its
+    /// journal.
+    UpdateAnchors {
+        /// Target slot.
+        slot: u64,
+        /// The confirmed anchor batch.
+        edges: Vec<AnchorEdge>,
+    },
+    /// Score a batch of candidate pairs against a slot's counts.
+    Query {
+        /// Target slot.
+        slot: u64,
+        /// `(left, right)` user pairs to score.
+        pairs: Vec<(u32, u32)>,
+    },
+    /// Top-`k` alignment candidates for one left user.
+    Align {
+        /// Target slot.
+        slot: u64,
+        /// The left-network user to align.
+        left: u32,
+        /// How many candidates to return.
+        k: u32,
+    },
+    /// Fsync the slot's journal (the durability point).
+    Checkpoint {
+        /// Target slot.
+        slot: u64,
+    },
+    /// Drain and exit cleanly.
+    Shutdown,
+}
+
+/// Typed failure codes a worker reports inside [`Response::Error`] —
+/// coarse enough to be stable across versions, fine enough for the
+/// coordinator to distinguish "your request is wrong" from "the worker
+/// is hurt".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request names a slot the worker never opened.
+    UnknownSlot,
+    /// Opening the snapshot/journal failed.
+    Open,
+    /// The update batch was rejected (validation) — nothing was applied
+    /// or journaled.
+    Update,
+    /// A journal operation (checkpoint, fold) failed.
+    Journal,
+    /// The request itself is invalid (out-of-range user, zero `k`).
+    BadRequest,
+    /// Anything else — the worker is in trouble.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::UnknownSlot => 1,
+            ErrorCode::Open => 2,
+            ErrorCode::Update => 3,
+            ErrorCode::Journal => 4,
+            ErrorCode::BadRequest => 5,
+            ErrorCode::Internal => 6,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, ProtocolError> {
+        Ok(match v {
+            1 => ErrorCode::UnknownSlot,
+            2 => ErrorCode::Open,
+            3 => ErrorCode::Update,
+            4 => ErrorCode::Journal,
+            5 => ErrorCode::BadRequest,
+            6 => ErrorCode::Internal,
+            other => {
+                return Err(ProtocolError::Decode(BinError::Malformed(format!(
+                    "unknown error code {other}"
+                ))))
+            }
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::UnknownSlot => "unknown-slot",
+            ErrorCode::Open => "open",
+            ErrorCode::Update => "update",
+            ErrorCode::Journal => "journal",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One worker response. Every request gets exactly one, echoing its seq;
+/// [`Response::Hello`] is the one unsolicited message (seq 0, sent once
+/// at startup as the readiness handshake).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// [`Request::Open`] succeeded.
+    Opened {
+        /// The slot that was opened.
+        slot: u64,
+        /// Anchor count after journal replay.
+        n_anchors: u64,
+    },
+    /// [`Request::UpdateAnchors`] succeeded.
+    Updated {
+        /// The slot that was updated.
+        slot: u64,
+        /// Genuinely new anchors merged by this batch.
+        applied: u64,
+        /// Anchor count after the batch.
+        n_anchors: u64,
+    },
+    /// [`Request::Query`] scores, one per requested pair, in order.
+    Scores(Vec<f64>),
+    /// [`Request::Align`] candidates: `(right_user, score)`, best first.
+    Aligned(Vec<(u32, f64)>),
+    /// [`Request::Checkpoint`] fsynced the journal.
+    Checkpointed {
+        /// Anchor count recorded in the checkpoint.
+        n_anchors: u64,
+    },
+    /// [`Request::Shutdown`] acknowledged; the worker exits after
+    /// flushing this.
+    ShuttingDown,
+    /// The request failed; the worker keeps serving.
+    Error {
+        /// Coarse failure class.
+        code: ErrorCode,
+        /// Human-readable detail (never parsed).
+        message: String,
+    },
+    /// Startup handshake: the worker is ready (seq 0).
+    Hello {
+        /// The worker's OS process id, for diagnostics.
+        pid: u64,
+    },
+}
+
+/// Encodes `(seq, request)` as one complete frame, ready to write.
+pub fn encode_request(seq: u64, request: &Request) -> Vec<u8> {
+    let mut p = Writer::new();
+    p.u64(seq);
+    match request {
+        Request::Open { slot, path } => {
+            p.u8(REQ_OPEN);
+            p.u64(*slot);
+            let bytes = path.as_bytes();
+            p.usize(bytes.len());
+            p.bytes(bytes);
+        }
+        Request::UpdateAnchors { slot, edges } => {
+            p.u8(REQ_UPDATE);
+            p.u64(*slot);
+            p.usize(edges.len());
+            for e in edges {
+                p.u32(e.left.0);
+                p.u32(e.right.0);
+            }
+        }
+        Request::Query { slot, pairs } => {
+            p.u8(REQ_QUERY);
+            p.u64(*slot);
+            p.usize(pairs.len());
+            for (l, r) in pairs {
+                p.u32(*l);
+                p.u32(*r);
+            }
+        }
+        Request::Align { slot, left, k } => {
+            p.u8(REQ_ALIGN);
+            p.u64(*slot);
+            p.u32(*left);
+            p.u32(*k);
+        }
+        Request::Checkpoint { slot } => {
+            p.u8(REQ_CHECKPOINT);
+            p.u64(*slot);
+        }
+        Request::Shutdown => {
+            p.u8(REQ_SHUTDOWN);
+        }
+    }
+    frame(&p.into_bytes())
+}
+
+/// Encodes `(seq, response)` as one complete frame, ready to write.
+pub fn encode_response(seq: u64, response: &Response) -> Vec<u8> {
+    let mut p = Writer::new();
+    p.u64(seq);
+    match response {
+        Response::Opened { slot, n_anchors } => {
+            p.u8(RESP_OPENED);
+            p.u64(*slot);
+            p.u64(*n_anchors);
+        }
+        Response::Updated {
+            slot,
+            applied,
+            n_anchors,
+        } => {
+            p.u8(RESP_UPDATED);
+            p.u64(*slot);
+            p.u64(*applied);
+            p.u64(*n_anchors);
+        }
+        Response::Scores(scores) => {
+            p.u8(RESP_SCORES);
+            p.usize(scores.len());
+            for s in scores {
+                p.f64(*s);
+            }
+        }
+        Response::Aligned(hits) => {
+            p.u8(RESP_ALIGNED);
+            p.usize(hits.len());
+            for (right, score) in hits {
+                p.u32(*right);
+                p.f64(*score);
+            }
+        }
+        Response::Checkpointed { n_anchors } => {
+            p.u8(RESP_CHECKPOINTED);
+            p.u64(*n_anchors);
+        }
+        Response::ShuttingDown => {
+            p.u8(RESP_SHUTTING_DOWN);
+        }
+        Response::Error { code, message } => {
+            p.u8(RESP_ERROR);
+            p.u8(code.to_u8());
+            let bytes = message.as_bytes();
+            p.usize(bytes.len());
+            p.bytes(bytes);
+        }
+        Response::Hello { pid } => {
+            p.u8(RESP_HELLO);
+            p.u64(*pid);
+        }
+    }
+    frame(&p.into_bytes())
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(FRAME_OVERHEAD + payload.len());
+    w.u32(payload.len() as u32);
+    w.u32(crc32(payload));
+    w.bytes(payload);
+    w.into_bytes()
+}
+
+/// Tries to split one frame off the front of `buf`.
+///
+/// * `Ok(None)` — `buf` holds an incomplete frame; read more bytes and
+///   try again (a torn frame is *never* an error: pipes deliver
+///   arbitrary prefixes).
+/// * `Ok(Some((payload, consumed)))` — one intact, CRC-verified payload;
+///   drop `consumed` bytes from the front of `buf` before the next call.
+///
+/// # Errors
+/// [`ProtocolError::FrameTooLarge`] before any buffering when the length
+/// prefix exceeds [`MAX_FRAME_LEN`]; [`ProtocolError::Checksum`] when a
+/// complete payload fails its CRC. Both mean the stream is corrupt — the
+/// connection must be torn down, not resynchronized.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(&[u8], usize)>, ProtocolError> {
+    if buf.len() < FRAME_OVERHEAD {
+        return Ok(None);
+    }
+    let mut r = Reader::new(&buf[..FRAME_OVERHEAD]);
+    let len = r.u32()?;
+    let crc = r.u32()?;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge { declared: len });
+    }
+    let len = len as usize;
+    let Some(total) = FRAME_OVERHEAD.checked_add(len).filter(|&t| t <= buf.len()) else {
+        return Ok(None);
+    };
+    let payload = &buf[FRAME_OVERHEAD..total];
+    let found = crc32(payload);
+    if found != crc {
+        return Err(ProtocolError::Checksum {
+            expected: crc,
+            found,
+        });
+    }
+    Ok(Some((payload, total)))
+}
+
+/// Decodes a frame payload (from [`decode_frame`]) as `(seq, request)`.
+///
+/// # Errors
+/// [`ProtocolError::Decode`] / [`ProtocolError::UnknownKind`] on
+/// structural damage — every sequence length is `seq_len`-guarded before
+/// its preallocation.
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ProtocolError> {
+    let mut r = Reader::new(payload);
+    let seq = r.u64()?;
+    let request = match r.u8()? {
+        REQ_OPEN => {
+            let slot = r.u64()?;
+            let n = r.seq_len(1)?;
+            let bytes = r.bytes(n)?;
+            let path = String::from_utf8(bytes.to_vec()).map_err(|_| {
+                ProtocolError::Decode(BinError::Malformed("open path is not UTF-8".into()))
+            })?;
+            Request::Open { slot, path }
+        }
+        REQ_UPDATE => {
+            let slot = r.u64()?;
+            let n = r.seq_len(8)?;
+            let mut edges = Vec::with_capacity(n);
+            for _ in 0..n {
+                let left = UserId(r.u32()?);
+                let right = UserId(r.u32()?);
+                edges.push(AnchorEdge { left, right });
+            }
+            Request::UpdateAnchors { slot, edges }
+        }
+        REQ_QUERY => {
+            let slot = r.u64()?;
+            let n = r.seq_len(8)?;
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                pairs.push((r.u32()?, r.u32()?));
+            }
+            Request::Query { slot, pairs }
+        }
+        REQ_ALIGN => Request::Align {
+            slot: r.u64()?,
+            left: r.u32()?,
+            k: r.u32()?,
+        },
+        REQ_CHECKPOINT => Request::Checkpoint { slot: r.u64()? },
+        REQ_SHUTDOWN => Request::Shutdown,
+        kind => return Err(ProtocolError::UnknownKind(kind)),
+    };
+    expect_exhausted(&r)?;
+    Ok((seq, request))
+}
+
+/// Decodes a frame payload (from [`decode_frame`]) as `(seq, response)`.
+///
+/// # Errors
+/// As for [`decode_request`].
+pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtocolError> {
+    let mut r = Reader::new(payload);
+    let seq = r.u64()?;
+    let response = match r.u8()? {
+        RESP_OPENED => Response::Opened {
+            slot: r.u64()?,
+            n_anchors: r.u64()?,
+        },
+        RESP_UPDATED => Response::Updated {
+            slot: r.u64()?,
+            applied: r.u64()?,
+            n_anchors: r.u64()?,
+        },
+        RESP_SCORES => {
+            let n = r.seq_len(8)?;
+            let mut scores = Vec::with_capacity(n);
+            for _ in 0..n {
+                scores.push(r.f64()?);
+            }
+            Response::Scores(scores)
+        }
+        RESP_ALIGNED => {
+            let n = r.seq_len(12)?;
+            let mut hits = Vec::with_capacity(n);
+            for _ in 0..n {
+                hits.push((r.u32()?, r.f64()?));
+            }
+            Response::Aligned(hits)
+        }
+        RESP_CHECKPOINTED => Response::Checkpointed {
+            n_anchors: r.u64()?,
+        },
+        RESP_SHUTTING_DOWN => Response::ShuttingDown,
+        RESP_ERROR => {
+            let code = ErrorCode::from_u8(r.u8()?)?;
+            let n = r.seq_len(1)?;
+            let bytes = r.bytes(n)?;
+            let message = String::from_utf8(bytes.to_vec()).map_err(|_| {
+                ProtocolError::Decode(BinError::Malformed("error message is not UTF-8".into()))
+            })?;
+            Response::Error { code, message }
+        }
+        RESP_HELLO => Response::Hello { pid: r.u64()? },
+        kind => return Err(ProtocolError::UnknownKind(kind)),
+    };
+    expect_exhausted(&r)?;
+    Ok((seq, response))
+}
+
+fn expect_exhausted(r: &Reader<'_>) -> Result<(), ProtocolError> {
+    if r.is_exhausted() {
+        Ok(())
+    } else {
+        Err(ProtocolError::Decode(BinError::Malformed(format!(
+            "{} trailing bytes in a protocol message",
+            r.remaining()
+        ))))
+    }
+}

@@ -875,6 +875,13 @@ impl ShardedSession {
                 first_err.get_or_insert(ShardedError::Pool(e));
             }
         }
+        // Per-shard saves may have enqueued background folds; the
+        // manifest's byte table must describe the files as they are
+        // after those folds land, so drain them first. A failed fold
+        // leaves its shard durable as-is, but the save still reports it.
+        for (_id, e) in self.pool.flush_compactions() {
+            first_err.get_or_insert(ShardedError::Pool(crate::pool::PoolError::Journal(e)));
+        }
         if let Some(e) = first_err {
             return Err(e);
         }

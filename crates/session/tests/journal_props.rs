@@ -261,6 +261,87 @@ fn crash_between_append_and_compact_recovers() {
     }
 }
 
+/// The staged compaction protocol (begin → stage → finish) preserves
+/// records appended *during* the fold: mid-compaction deltas land after
+/// the fold mark and must survive into the fresh journal — and the crash
+/// window between the base rename and the journal swap must replay
+/// exactly that suffix onto the new base.
+#[test]
+fn staged_compaction_preserves_mid_fold_appends() {
+    let w = world(91);
+    let links = w.truth().links();
+    let mut live = counted(&w, 6);
+    let b1 = links[6..10].to_vec();
+    let b2 = links[10..13].to_vec();
+
+    let dir = temp_dir("staged");
+    let base = dir.join("s.snap");
+    let mut j = Journal::create(&base, &snapshot::to_bytes(&live)).unwrap();
+    j.append(&b1).unwrap();
+    live.update_anchors(&b1).unwrap();
+
+    // Begin the fold at state s1, then keep appending while the base is
+    // (conceptually) being staged off-lock.
+    let s1 = snapshot::to_bytes(&live);
+    j.begin_compact(&s1).unwrap();
+    assert!(j.compaction_pending());
+    assert!(
+        !j.should_compact(session::CompactionPolicy::EveryN(1)),
+        "policy checks must not double-trigger while a fold is pending"
+    );
+    j.append(&b2).unwrap();
+    live.update_anchors(&b2).unwrap();
+    let s2 = snapshot::to_bytes(&live);
+
+    // Crash window B': new base published, journal not yet swapped, with
+    // records after the marker. Replay must apply only the suffix.
+    let bp = temp_dir("staged-crash");
+    let bbase = bp.join("s.snap");
+    std::fs::write(&bbase, &s1).unwrap();
+    std::fs::copy(Journal::path_for(&base), Journal::path_for(&bbase)).unwrap();
+    let (sbp, jbp) = Journal::open(&bbase).unwrap();
+    assert_eq!(snapshot::to_bytes(&sbp), s2);
+    assert_eq!(
+        jbp.delta_records(),
+        1,
+        "only the post-mark delta survives into the rebuilt journal"
+    );
+    drop(jbp);
+    // The rebuilt journal must itself reopen cleanly.
+    let (sbp2, _) = Journal::open(&bbase).unwrap();
+    assert_eq!(snapshot::to_bytes(&sbp2), s2);
+
+    // Live path: stage + finish. The b2 record must survive the swap.
+    let staged = Journal::stage_compacted_base(j.base_path(), &s1).unwrap();
+    j.finish_compact(staged).unwrap();
+    assert!(!j.compaction_pending());
+    assert_eq!(j.delta_records(), 1, "mid-fold append survives the fold");
+    drop(j);
+    let (reopened, j) = Journal::open(&base).unwrap();
+    assert_eq!(snapshot::to_bytes(&reopened), s2);
+    assert_eq!(j.delta_records(), 1);
+    drop(j);
+
+    // A mismatched staged base is refused and the pending fold survives.
+    let (_, mut j) = Journal::open(&base).unwrap();
+    let now = snapshot::to_bytes(&reopened);
+    j.begin_compact(&now).unwrap();
+    let wrong = Journal::stage_compacted_base(j.base_path(), &s1).unwrap();
+    assert!(j.finish_compact(wrong).is_err());
+    assert!(
+        j.compaction_pending(),
+        "a bad stage must not clear the fold"
+    );
+    let right = Journal::stage_compacted_base(j.base_path(), &now).unwrap();
+    j.finish_compact(right).unwrap();
+    assert_eq!(j.delta_records(), 0);
+    drop(j);
+
+    for d in [dir, bp] {
+        std::fs::remove_dir_all(&d).ok();
+    }
+}
+
 /// `snapshot::save` is now a journal-layer wrapper: it must unlink a
 /// stale sibling journal, or the next journal-aware open would refuse
 /// with `BaseMismatch`.

@@ -1,0 +1,176 @@
+//! Fault-injected serving-tier integration (ISSUE 10 acceptance).
+//!
+//! Real child processes, real pipes: a `SERVE_FAULT` knob makes a
+//! worker exit or stall at a chosen request index, and the coordinator
+//! must restart it, replay base+journal, and keep answering — with
+//! every post-restart answer **bit-equal** to a run that was never
+//! interrupted. That is the whole durability claim of the tier: the
+//! base+journal pair on disk is the hand-off, and a restarted worker
+//! reopens to exactly the session the dead one was serving.
+
+use session::serve::{Coordinator, ServeConfig, ServeError, WorkerSpec};
+use session::{snapshot, AnchorEdge, Journal, SessionBuilder};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("serve-fault-{}-{tag}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn world() -> datagen::GeneratedWorld {
+    datagen::generate(&datagen::presets::tiny(137))
+}
+
+/// Writes the scenario's base snapshot (6 training anchors) into `dir`.
+fn make_base(dir: &Path) -> PathBuf {
+    let w = world();
+    let s = SessionBuilder::new(w.left(), w.right())
+        .anchors(w.truth().links()[..6].to_vec())
+        .count()
+        .unwrap();
+    let path = dir.join("base.snap");
+    snapshot::save(&s, &path).unwrap();
+    path
+}
+
+fn spec(fault: Option<&str>) -> WorkerSpec {
+    let mut spec = WorkerSpec::new(env!("CARGO_BIN_EXE_serve_worker"));
+    // Compaction policy is pinned so baseline and fault runs exercise
+    // identical journal shapes.
+    spec.envs.push(("SERVE_COMPACT".into(), "never".into()));
+    if let Some(f) = fault {
+        spec.envs.push(("SERVE_FAULT".into(), f.into()));
+    }
+    spec
+}
+
+/// Everything a scenario observes, floats carried as bits so "equal"
+/// means bit-equal.
+#[derive(Debug, PartialEq, Eq)]
+struct Observed {
+    n_open: u64,
+    n_after_updates: Vec<u64>,
+    scores: Vec<u64>,
+    aligned: Vec<(u32, u64)>,
+    n_checkpoint: u64,
+    journal_anchors: usize,
+}
+
+/// One scripted serving session against a 1-worker tier: open, two
+/// update batches, a full-truth query sweep, an alignment, a
+/// checkpoint, a clean shutdown. The request indices seen by the worker
+/// are deterministic (0=open, 1=upd, 2=upd, 3=query, 4=align, 5=ckpt),
+/// which is what the fault specs below index into.
+fn run_scenario(fault: Option<&str>, deadline: Duration) -> (Observed, u32) {
+    let dir = temp_dir(fault.unwrap_or("baseline").replace(':', "-").as_str());
+    let base = make_base(&dir);
+    let w = world();
+    let links = w.truth().links();
+    let pairs: Vec<(u32, u32)> = links.iter().map(|l| (l.left.0, l.right.0)).collect();
+    let batches: [Vec<AnchorEdge>; 2] = [links[6..8].to_vec(), links[8..10].to_vec()];
+
+    let coordinator = Coordinator::spawn(
+        spec(fault),
+        ServeConfig {
+            workers: 1,
+            max_in_flight: 8,
+            deadline,
+            restart_limit: 3,
+        },
+    )
+    .unwrap();
+
+    let n_open = coordinator.open(0, base.display().to_string()).unwrap();
+    let mut n_after_updates = Vec::new();
+    for batch in &batches {
+        // `applied` is deliberately NOT compared: a resubmitted batch
+        // the dead worker already journaled merges 0 new anchors — the
+        // visible *state* must match, not the retry bookkeeping.
+        let (_applied, n) = coordinator.update_anchors(0, batch.clone()).unwrap();
+        n_after_updates.push(n);
+    }
+    let scores = coordinator.query(0, pairs).unwrap();
+    let aligned = coordinator.align(0, links[0].left.0, 5).unwrap();
+    let n_checkpoint = coordinator.checkpoint(0).unwrap();
+    let restarts = coordinator.restarts(0);
+    coordinator.shutdown().unwrap();
+
+    // The worker is gone; the journal on disk is the surviving truth.
+    let (replayed, _) = Journal::open(&base).unwrap();
+    let observed = Observed {
+        n_open,
+        n_after_updates,
+        scores: scores.iter().map(|s| s.to_bits()).collect(),
+        aligned: aligned.iter().map(|&(r, s)| (r, s.to_bits())).collect(),
+        n_checkpoint,
+        journal_anchors: replayed.n_anchors(),
+    };
+    std::fs::remove_dir_all(&dir).ok();
+    (observed, restarts)
+}
+
+#[test]
+fn baseline_runs_without_restarts() {
+    let (observed, restarts) = run_scenario(None, Duration::from_secs(10));
+    assert_eq!(restarts, 0, "no fault, no restarts");
+    assert!(observed.n_after_updates[1] >= observed.n_after_updates[0]);
+    assert_eq!(
+        observed.journal_anchors as u64, observed.n_after_updates[1],
+        "journal replay must land on the served state"
+    );
+}
+
+/// Worker killed *between* requests (exits before serving request 2 —
+/// the second update): the first update is journaled and acked, the
+/// crash loses only the process. The restarted worker replays
+/// base+journal and every later answer is bit-equal to the
+/// uninterrupted run.
+#[test]
+fn crash_between_requests_recovers_bit_equal() {
+    let (baseline, _) = run_scenario(None, Duration::from_secs(10));
+    let (faulted, restarts) = run_scenario(Some("exit:2"), Duration::from_secs(10));
+    assert!(restarts >= 1, "the fault must actually have fired");
+    assert_eq!(faulted, baseline);
+}
+
+/// Worker killed in the applied-but-unacked window (`exit-after:1`
+/// journals the first update, then dies without flushing the ack): the
+/// coordinator must resubmit, the worker-side set-union makes the
+/// replayed-and-resubmitted batch idempotent, and the final state is
+/// still bit-equal.
+#[test]
+fn crash_after_journal_append_before_ack_recovers_bit_equal() {
+    let (baseline, _) = run_scenario(None, Duration::from_secs(10));
+    let (faulted, restarts) = run_scenario(Some("exit-after:1"), Duration::from_secs(10));
+    assert!(restarts >= 1, "the fault must actually have fired");
+    assert_eq!(faulted, baseline);
+}
+
+/// Worker wedged (stalls forever before serving request 3 — the
+/// query): the per-request deadline declares it dead, the coordinator
+/// replaces it, and the answers are still bit-equal.
+#[test]
+fn stall_is_deadline_killed_and_recovers_bit_equal() {
+    let (baseline, _) = run_scenario(None, Duration::from_secs(10));
+    let (faulted, restarts) = run_scenario(Some("stall:3"), Duration::from_millis(1500));
+    assert!(restarts >= 1, "the deadline must have fired");
+    assert_eq!(faulted, baseline);
+}
+
+#[test]
+fn spawning_a_missing_worker_binary_is_a_typed_error() {
+    let result = Coordinator::spawn(
+        WorkerSpec::new("/no/such/worker-binary"),
+        ServeConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    );
+    assert!(matches!(result, Err(ServeError::Spawn(_))));
+}

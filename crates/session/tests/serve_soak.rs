@@ -1,0 +1,194 @@
+//! Concurrency soak for the serving tier (ISSUE 10 satellite).
+//!
+//! Four client threads hammer a 2-worker tier with interleaved
+//! open/update/query/checkpoint traffic through one shared
+//! [`Coordinator`]. The tier must not deadlock (the test finishing is
+//! the proof), must not lose a single write-ahead update (after
+//! shutdown, each slot's journal replays to exactly the state of a
+//! local session fed the same ledger — score-bit-equal, not just
+//! count-equal), and must keep each client's responses ordered (anchor
+//! counts observed by one client never go backwards, and its final
+//! checkpoint sees its full ledger).
+
+use session::serve::{Coordinator, ServeConfig, WorkerSpec};
+use session::{snapshot, AnchorEdge, Journal, SessionBuilder};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+const CLIENTS: u64 = 4;
+const ROUNDS: usize = 4;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("serve-soak-{}-{tag}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn world(slot: u64) -> datagen::GeneratedWorld {
+    datagen::generate(&datagen::presets::tiny(200 + slot))
+}
+
+fn counted(w: &datagen::GeneratedWorld) -> session::AlignmentSession<session::Counted> {
+    SessionBuilder::new(w.left(), w.right())
+        .anchors(w.truth().links()[..6].to_vec())
+        .count()
+        .unwrap()
+}
+
+/// The ledger for one slot: every edge any client round will send it.
+/// Rounds resend cumulative prefixes, so idempotent set-union semantics
+/// are exercised under concurrency, but the final set is fixed.
+fn ledger(w: &datagen::GeneratedWorld) -> Vec<AnchorEdge> {
+    w.truth().links()[6..6 + ROUNDS].to_vec()
+}
+
+fn score_sweep(s: &session::AlignmentSession<session::Counted>, pairs: &[(u32, u32)]) -> Vec<u64> {
+    let (rows, cols) = s.anchor().shape();
+    pairs
+        .iter()
+        .map(|&(l, r)| {
+            let (l, r) = (l as usize, r as usize);
+            let score: f64 = if l >= rows || r >= cols {
+                0.0
+            } else {
+                (0..s.catalog().len())
+                    .map(|i| s.count_of(i).get(l, r))
+                    .sum()
+            };
+            score.to_bits()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_never_lose_a_journaled_update() {
+    let dir = temp_dir("tier");
+
+    // One base snapshot per slot, from per-slot worlds.
+    let mut bases = Vec::new();
+    for slot in 0..CLIENTS {
+        let base = dir.join(format!("slot-{slot}.snap"));
+        snapshot::save(&counted(&world(slot)), &base).unwrap();
+        bases.push(base);
+    }
+
+    let mut spec = WorkerSpec::new(env!("CARGO_BIN_EXE_serve_worker"));
+    spec.envs.push(("SERVE_COMPACT".into(), "never".into()));
+    let coordinator = Arc::new(
+        Coordinator::spawn(
+            spec,
+            ServeConfig {
+                workers: 2,
+                // Tight on purpose: 4 clients contend for 3 admission
+                // slots, so the window actually gates under load.
+                max_in_flight: 3,
+                deadline: Duration::from_secs(30),
+                restart_limit: 1,
+            },
+        )
+        .unwrap(),
+    );
+
+    for (slot, base) in bases.iter().enumerate() {
+        coordinator
+            .open(slot as u64, base.display().to_string())
+            .unwrap();
+    }
+
+    // Warm the tier through the batched path first: one update_many
+    // spanning every slot (and both workers), results in job order.
+    let first_batch: Vec<(u64, Vec<AnchorEdge>)> = (0..CLIENTS)
+        .map(|slot| (slot, ledger(&world(slot))[..1].to_vec()))
+        .collect();
+    let batched = coordinator.update_many(first_batch);
+    assert_eq!(batched.len(), CLIENTS as usize);
+    for (slot, result) in batched.iter().enumerate() {
+        let (_applied, n) = result.as_ref().unwrap_or_else(|e| {
+            panic!("batched update for slot {slot} failed: {e}");
+        });
+        assert!(*n > 0);
+    }
+
+    // Soak: each client owns one slot and interleaves updates (cumulative
+    // ledger prefixes), queries, and checkpoints.
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|slot| {
+            let coordinator = Arc::clone(&coordinator);
+            std::thread::spawn(move || {
+                let w = world(slot);
+                let ledger = ledger(&w);
+                let pairs: Vec<(u32, u32)> = ledger.iter().map(|e| (e.left.0, e.right.0)).collect();
+                let mut last_n = 0u64;
+                for round in 0..ROUNDS {
+                    let (_applied, n) = coordinator
+                        .update_anchors(slot, ledger[..=round].to_vec())
+                        .unwrap();
+                    assert!(
+                        n >= last_n,
+                        "client {slot}: anchors went backwards ({n} < {last_n}) — \
+                         responses out of order"
+                    );
+                    last_n = n;
+                    let scores = coordinator.query(slot, pairs.clone()).unwrap();
+                    assert_eq!(scores.len(), pairs.len());
+                    if round % 2 == 1 {
+                        let n_ckpt = coordinator.checkpoint(slot).unwrap();
+                        assert!(
+                            n_ckpt >= last_n,
+                            "checkpoint behind the client's own writes"
+                        );
+                    }
+                }
+                let n_final = coordinator.checkpoint(slot).unwrap();
+                assert_eq!(
+                    n_final, last_n,
+                    "client {slot}: final checkpoint must see the full ledger"
+                );
+            })
+        })
+        .collect();
+    for handle in workers {
+        handle.join().expect("a soak client panicked");
+    }
+
+    assert_eq!(
+        coordinator.restarts(0) + coordinator.restarts(1),
+        0,
+        "soak traffic alone must never trip a restart"
+    );
+    coordinator.shutdown().unwrap();
+
+    // The ledger test: every slot's journal replays to exactly the state
+    // of a local session fed the same edges — bit-equal scores over the
+    // whole truth set, no update lost, none double-applied.
+    for slot in 0..CLIENTS {
+        let w = world(slot);
+        let mut local = counted(&w);
+        local.update_anchors(&ledger(&w)).unwrap();
+
+        let (replayed, _) = Journal::open(&bases[slot as usize]).unwrap();
+        assert_eq!(
+            replayed.n_anchors(),
+            local.n_anchors(),
+            "slot {slot}: journal replay lost or duplicated updates"
+        );
+        let all_pairs: Vec<(u32, u32)> = w
+            .truth()
+            .links()
+            .iter()
+            .map(|l| (l.left.0, l.right.0))
+            .collect();
+        assert_eq!(
+            score_sweep(&replayed, &all_pairs),
+            score_sweep(&local, &all_pairs),
+            "slot {slot}: replayed state must be bit-equal to the ledger state"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
